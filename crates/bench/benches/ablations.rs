@@ -1,0 +1,84 @@
+//! Ablations of HAFT design choices beyond the paper's own sweeps:
+//! the check-elision peephole, the TX begin/end peephole, and the
+//! adaptive-transaction-sizing extension (the paper's §7 future work).
+
+use haft_bench::{recommended_threshold, run_checked, vm_config};
+use haft_passes::{harden, HardenConfig, IlrConfig, TxConfig};
+use haft_workloads::{all_workloads, workload_by_name, Scale};
+
+fn main() {
+    let threads = if haft_bench::fast_mode() { 2 } else { 8 };
+
+    println!("\n=== Ablation: ILR check-elision peephole ===");
+    println!("{:<16}{:>14}{:>14}{:>10}", "benchmark", "insts(on)", "insts(off)", "saved");
+    for name in ["histogram", "vips", "dedup", "x264"] {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let on = harden(&w.module, &HardenConfig::haft());
+        let off = harden(
+            &w.module,
+            &HardenConfig {
+                ilr: Some(IlrConfig { check_elision: false, ..Default::default() }),
+                tx: Some(TxConfig::default()),
+            },
+        );
+        let (a, b) = (on.total_inst_count(), off.total_inst_count());
+        println!(
+            "{:<16}{:>14}{:>14}{:>9.1}%",
+            name,
+            a,
+            b,
+            100.0 * (b - a) as f64 / b as f64
+        );
+    }
+
+    println!("\n=== Ablation: TX begin/end peephole ===");
+    println!("{:<16}{:>14}{:>14}{:>10}", "benchmark", "insts(on)", "insts(off)", "saved");
+    for name in ["dedup", "apache-like: see fig12", "vips"] {
+        let Some(w) = workload_by_name(name, Scale::Small) else { continue };
+        let on = harden(&w.module, &HardenConfig::haft());
+        let off = harden(
+            &w.module,
+            &HardenConfig {
+                ilr: Some(IlrConfig::default()),
+                tx: Some(TxConfig { peephole: false, ..Default::default() }),
+            },
+        );
+        let (a, b) = (on.total_inst_count(), off.total_inst_count());
+        println!(
+            "{:<16}{:>14}{:>14}{:>9.1}%",
+            name,
+            a,
+            b,
+            100.0 * (b.saturating_sub(a)) as f64 / b as f64
+        );
+    }
+
+    println!("\n=== Ablation: adaptive transaction sizing (paper §7 future work) ===");
+    println!(
+        "{:<16}{:>10}{:>10}{:>12}{:>12}{:>10}{:>10}",
+        "benchmark", "oh(fix)", "oh(adpt)", "abort%(fix)", "abort%(adpt)", "cov(fix)", "cov(adpt)"
+    );
+    for w in all_workloads(Scale::Large) {
+        // Only the conflict-prone kernels are interesting here.
+        if !matches!(w.name, "kmeans" | "pca" | "wordcount" | "streamcluster" | "vips") {
+            continue;
+        }
+        let native = run_checked(&w, &w.module, vm_config(threads, 5000));
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        let fixed = run_checked(&w, &hardened, vm_config(threads, 5000));
+        let mut acfg = vm_config(threads, 5000);
+        acfg.adaptive_threshold = true;
+        let adaptive = run_checked(&w, &hardened, acfg);
+        println!(
+            "{:<16}{:>10.2}{:>10.2}{:>12.2}{:>12.2}{:>9.1}%{:>9.1}%",
+            w.name,
+            fixed.wall_cycles as f64 / native.wall_cycles as f64,
+            adaptive.wall_cycles as f64 / native.wall_cycles as f64,
+            fixed.htm.abort_rate_pct(),
+            adaptive.htm.abort_rate_pct(),
+            fixed.htm.coverage_pct(),
+            adaptive.htm.coverage_pct(),
+        );
+        let _ = recommended_threshold(w.name);
+    }
+}

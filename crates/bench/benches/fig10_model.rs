@@ -1,0 +1,29 @@
+//! Figure 10: availability and corruption over one hour vs fault rate,
+//! from the Figure 5 CTMC with Table 4 parameters.
+
+use haft_model::{HaftChain, SystemKind};
+
+fn main() {
+    const HOUR: f64 = 3600.0;
+    let points = if haft_bench::fast_mode() { 6 } else { 12 };
+    println!("\n=== Figure 10: availability / corruption in 1 hour vs fault rate ===");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}   {:>10} {:>10} {:>10}",
+        "faults/s", "avail-N", "avail-I", "avail-H", "corr-N", "corr-I", "corr-H"
+    );
+    let native = HaftChain::paper(SystemKind::Native).sweep(0.00028, 1.0, points, HOUR);
+    let ilr = HaftChain::paper(SystemKind::Ilr).sweep(0.00028, 1.0, points, HOUR);
+    let haft = HaftChain::paper(SystemKind::Haft).sweep(0.00028, 1.0, points, HOUR);
+    for i in 0..points {
+        println!(
+            "{:>12.5} {:>9.1}% {:>9.1}% {:>9.1}%   {:>9.1}% {:>9.1}% {:>9.1}%",
+            native[i].fault_rate,
+            native[i].availability * 100.0,
+            ilr[i].availability * 100.0,
+            haft[i].availability * 100.0,
+            native[i].corruption * 100.0,
+            ilr[i].corruption * 100.0,
+            haft[i].corruption * 100.0,
+        );
+    }
+}

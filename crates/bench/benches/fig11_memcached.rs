@@ -1,0 +1,88 @@
+//! Figure 11: memcached throughput under YCSB A and D, native vs HAFT
+//! with/without lock elision, plus the SEI comparison (right graph).
+
+use haft_apps::{memcached, KvSync, WorkloadMix};
+use haft_bench::{run_checked, vm_config};
+use haft_passes::{harden, HardenConfig};
+use haft_workloads::Scale;
+
+/// Simulated throughput in M ops per second at 2 GHz.
+fn throughput(wall_cycles: u64, ops: f64) -> f64 {
+    ops / (wall_cycles as f64 / 2.0e9) / 1.0e6
+}
+
+fn main() {
+    let threads: Vec<usize> =
+        if haft_bench::fast_mode() { vec![2, 8] } else { vec![1, 2, 4, 8, 16] };
+    let ops = 24_000.0;
+    for (mix, label) in [(WorkloadMix::A, "A (50r/50w, zipf)"), (WorkloadMix::D, "D (95r/5w, latest)")] {
+        println!("\n=== Figure 11: memcached workload {label} — throughput (M msg/s) ===");
+        println!(
+            "{:<10}{:>14}{:>14}{:>14}{:>14}{:>16}",
+            "threads", "native-atom", "native-lock", "HAFT-atom", "HAFT-lock", "HAFT-lock-noel"
+        );
+        for &t in &threads {
+            let na = {
+                let w = memcached(mix, KvSync::Atomics, Scale::Large);
+                run_checked(&w, &w.module, vm_config(t, 3000))
+            };
+            let nl = {
+                let w = memcached(mix, KvSync::Lock, Scale::Large);
+                run_checked(&w, &w.module, vm_config(t, 3000))
+            };
+            let ha = {
+                let w = memcached(mix, KvSync::Atomics, Scale::Large);
+                let h = harden(&w.module, &HardenConfig::haft());
+                run_checked(&w, &h, vm_config(t, 3000))
+            };
+            let hl = {
+                let w = memcached(mix, KvSync::Lock, Scale::Large);
+                let h = harden(&w.module, &HardenConfig::haft_with_elision());
+                let mut cfg = vm_config(t, 3000);
+                cfg.lock_elision = true;
+                run_checked(&w, &h, cfg)
+            };
+            let hn = {
+                let w = memcached(mix, KvSync::Lock, Scale::Large);
+                let h = harden(&w.module, &HardenConfig::haft());
+                run_checked(&w, &h, vm_config(t, 3000))
+            };
+            println!(
+                "{:<10}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>16.3}",
+                t,
+                throughput(na.wall_cycles, ops),
+                throughput(nl.wall_cycles, ops),
+                throughput(ha.wall_cycles, ops),
+                throughput(hl.wall_cycles, ops),
+                throughput(hn.wall_cycles, ops),
+            );
+        }
+    }
+
+    println!("\n=== Figure 11 (right): HAFT vs SEI (mcblaster-style, uniform keys) ===");
+    println!("{:<10}{:>14}{:>14}{:>14}", "threads", "native-lock", "HAFT-lock", "SEI");
+    for &t in &threads {
+        let nl = {
+            let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Large);
+            run_checked(&w, &w.module, vm_config(t, 3000))
+        };
+        let hl = {
+            let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Large);
+            let h = harden(&w.module, &HardenConfig::haft_with_elision());
+            let mut cfg = vm_config(t, 3000);
+            cfg.lock_elision = true;
+            run_checked(&w, &h, cfg)
+        };
+        let sei = {
+            let w = memcached(WorkloadMix::Uniform, KvSync::Sei, Scale::Large);
+            run_checked(&w, &w.module, vm_config(t, 3000))
+        };
+        println!(
+            "{:<10}{:>14.3}{:>14.3}{:>14.3}",
+            t,
+            throughput(nl.wall_cycles, ops),
+            throughput(hl.wall_cycles, ops),
+            throughput(sei.wall_cycles, ops),
+        );
+    }
+}

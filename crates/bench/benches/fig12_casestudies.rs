@@ -1,0 +1,40 @@
+//! Figure 12: LogCabin, Apache, LevelDB, SQLite throughput, native vs
+//! HAFT.
+
+use haft_apps::others::{apache, leveldb, logcabin, sqlite};
+use haft_apps::WorkloadMix;
+use haft_bench::{run_checked, vm_config};
+use haft_passes::{harden, HardenConfig};
+use haft_workloads::{Scale, Workload};
+
+fn tp(wall: u64, units: f64) -> f64 {
+    units / (wall as f64 / 2.0e9) / 1.0e3 // K ops/s at 2 GHz.
+}
+
+fn line(w: &Workload, units: f64, threads: &[usize]) {
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    print!("{:<14}", w.name);
+    for &t in threads {
+        let n = run_checked(w, &w.module, vm_config(t, 3000));
+        let h = run_checked(w, &hardened, vm_config(t, 3000));
+        print!("  {:>7.1}/{:<7.1}", tp(n.wall_cycles, units), tp(h.wall_cycles, units));
+    }
+    println!();
+}
+
+fn main() {
+    let threads: Vec<usize> =
+        if haft_bench::fast_mode() { vec![2, 8] } else { vec![1, 2, 4, 8, 16] };
+    println!("\n=== Figure 12: case-study throughput, K ops/s (native/HAFT) ===");
+    print!("{:<14}", "app");
+    for t in &threads {
+        print!("  {:>15}", format!("{t} thr"));
+    }
+    println!();
+    line(&logcabin(Scale::Large), 6_000.0, &threads);
+    line(&apache(Scale::Large), 1_500.0, &threads);
+    line(&leveldb(WorkloadMix::A, Scale::Large), 12_000.0, &threads);
+    line(&leveldb(WorkloadMix::D, Scale::Large), 12_000.0, &threads);
+    line(&sqlite(WorkloadMix::A, Scale::Large), 9_000.0, &threads);
+    line(&sqlite(WorkloadMix::D, Scale::Large), 9_000.0, &threads);
+}

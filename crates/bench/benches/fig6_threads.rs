@@ -1,0 +1,34 @@
+//! Figure 6: normalized runtime of HAFT over native, 1–14 threads.
+
+use haft_bench::{header, overhead, row};
+use haft_passes::HardenConfig;
+use haft_workloads::{all_workloads, Scale};
+
+fn main() {
+    let threads: Vec<usize> =
+        if haft_bench::fast_mode() { vec![2, 8] } else { vec![1, 2, 4, 8, 14] };
+    println!("\n=== Figure 6: HAFT normalized runtime vs native (thread sweep) ===");
+    let cols: Vec<String> = threads.iter().map(|t| format!("{t}thr")).collect();
+    header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut means = vec![0.0; threads.len()];
+    let workloads = all_workloads(Scale::Large);
+    for w in &workloads {
+        let mut vals = Vec::new();
+        for (i, &t) in threads.iter().enumerate() {
+            let (oh, _) = overhead(w, &HardenConfig::haft(), t);
+            means[i] += oh;
+            vals.push(oh);
+        }
+        row(w.name, &vals);
+    }
+    // vips-nc: the local-call optimization disabled, as the paper reports.
+    let vips = haft_workloads::workload_by_name("vips", Scale::Large).unwrap();
+    let mut vals = Vec::new();
+    for &t in &threads {
+        let (oh, _) = overhead(&vips, &HardenConfig::haft().without_local_calls(), t);
+        vals.push(oh);
+    }
+    row("vips-nc", &vals);
+    let n = workloads.len() as f64;
+    row("mean", &means.iter().map(|m| m / n).collect::<Vec<_>>());
+}

@@ -1,0 +1,25 @@
+//! Figure 7: overhead with the paper's cumulative optimization levels
+//! (None -> +shared-memory -> +control-flow -> +local-calls -> +fault-prop).
+
+use haft_bench::{header, overhead, row};
+use haft_passes::{HardenConfig, OptLevel};
+use haft_workloads::{all_workloads, Scale};
+
+fn main() {
+    let threads = if haft_bench::fast_mode() { 4 } else { 8 };
+    println!("\n=== Figure 7: overhead by optimization level ({threads} threads) ===");
+    header(&["N", "S", "C", "L", "F"]);
+    let workloads = all_workloads(Scale::Large);
+    let mut means = vec![0.0; OptLevel::ALL.len()];
+    for w in &workloads {
+        let mut vals = Vec::new();
+        for (i, level) in OptLevel::ALL.iter().enumerate() {
+            let (oh, _) = overhead(w, &HardenConfig::at_opt_level(*level), threads);
+            means[i] += oh;
+            vals.push(oh);
+        }
+        row(w.name, &vals);
+    }
+    let n = workloads.len() as f64;
+    row("mean", &means.iter().map(|m| m / n).collect::<Vec<_>>());
+}

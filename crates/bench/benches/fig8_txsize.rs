@@ -1,0 +1,39 @@
+//! Figure 8: overhead (top) and abort percentage (bottom) vs transaction
+//! size threshold.
+
+use haft_bench::{header, row, run_checked, vm_config};
+use haft_passes::{harden, HardenConfig};
+use haft_workloads::{all_workloads, Scale};
+
+fn main() {
+    let sizes: &[u64] = if haft_bench::fast_mode() {
+        &[500, 5000]
+    } else {
+        &[250, 500, 1000, 3000, 5000]
+    };
+    let threads = if haft_bench::fast_mode() { 4 } else { 8 };
+    let workloads = all_workloads(Scale::Large);
+
+    println!("\n=== Figure 8 (top): normalized runtime vs transaction size ===");
+    let cols: Vec<String> = sizes.iter().map(|s| format!("{s}")).collect();
+    header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut aborts: Vec<Vec<f64>> = Vec::new();
+    for w in &workloads {
+        let native = run_checked(w, &w.module, vm_config(threads, 1000));
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        let mut ohs = Vec::new();
+        let mut abs = Vec::new();
+        for &s in sizes {
+            let r = run_checked(w, &hardened, vm_config(threads, s));
+            ohs.push(r.wall_cycles as f64 / native.wall_cycles as f64);
+            abs.push(r.htm.abort_rate_pct());
+        }
+        row(w.name, &ohs);
+        aborts.push(abs);
+    }
+    println!("\n=== Figure 8 (bottom): transaction aborts (%) vs transaction size ===");
+    header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
+    for (w, abs) in workloads.iter().zip(&aborts) {
+        row(w.name, abs);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the core substrates: pass throughput,
+//! HTM operations, and interpreter speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use haft_htm::{AccessKind, Htm, HtmConfig};
+use haft_passes::{harden, HardenConfig};
+use haft_vm::{RunSpec, Vm, VmConfig};
+use haft_workloads::{workload_by_name, Scale};
+
+fn bench_passes(c: &mut Criterion) {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    c.bench_function("harden_haft_histogram", |b| {
+        b.iter(|| harden(std::hint::black_box(&w.module), &HardenConfig::haft()))
+    });
+    c.bench_function("harden_ilr_only_histogram", |b| {
+        b.iter(|| harden(std::hint::black_box(&w.module), &HardenConfig::ilr_only()))
+    });
+}
+
+fn bench_htm(c: &mut Criterion) {
+    c.bench_function("htm_tx_cycle_with_accesses", |b| {
+        let mut htm = Htm::new(HtmConfig::default(), 2);
+        let mut addr = 0u64;
+        b.iter(|| {
+            htm.begin(0, 0);
+            for i in 0..16 {
+                htm.access(0, addr + i * 64, 8, AccessKind::Write);
+            }
+            htm.commit(0);
+            addr = addr.wrapping_add(4096) % (1 << 20);
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let w = workload_by_name("linearreg", Scale::Small).unwrap();
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    c.bench_function("vm_run_native_linearreg_small", |b| {
+        b.iter(|| {
+            Vm::run(
+                std::hint::black_box(&w.module),
+                VmConfig { n_threads: 2, ..Default::default() },
+                RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() },
+            )
+        })
+    });
+    c.bench_function("vm_run_haft_linearreg_small", |b| {
+        b.iter(|| {
+            Vm::run(
+                std::hint::black_box(&hardened),
+                VmConfig { n_threads: 2, ..Default::default() },
+                RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_passes, bench_htm, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3: abort rate and cause breakdown at the worst-case transaction
+//! size (5000).
+
+use haft_bench::{header, row, run_checked, vm_config};
+use haft_htm::abort::Table3Bucket;
+use haft_passes::{harden, HardenConfig};
+use haft_workloads::{all_workloads, Scale};
+
+fn main() {
+    let threads = if haft_bench::fast_mode() { 4 } else { 8 };
+    println!("\n=== Table 3: abort rate and causes at transaction size 5000 ({threads} threads) ===");
+    header(&["rate%", "capac%", "confl%", "other%"]);
+    for w in all_workloads(Scale::Large) {
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        let r = run_checked(&w, &hardened, vm_config(threads, 5000));
+        row(
+            w.name,
+            &[
+                r.htm.abort_rate_pct(),
+                r.htm.bucket_pct(Table3Bucket::Capacity),
+                r.htm.bucket_pct(Table3Bucket::Conflict),
+                r.htm.bucket_pct(Table3Bucket::Other),
+            ],
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 4: fault probabilities feeding the availability model, measured
+//! by an aggregate campaign over the benchmark suite.
+
+use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Outcome};
+use haft_passes::{harden, HardenConfig};
+use haft_vm::VmConfig;
+use haft_workloads::{workload_by_name, Scale};
+
+fn main() {
+    let injections = if haft_bench::fast_mode() { 30 } else { 100 };
+    // A representative subset keeps the aggregate campaign tractable.
+    let names = ["histogram", "linearreg", "canneal", "streamcluster", "x264"];
+    println!("\n=== Table 4: fault probabilities (aggregated over {names:?}) ===");
+    println!("{:<22}{:>10}{:>10}{:>10}", "probability", "Native", "ILR", "HAFT");
+    let mut reports = Vec::new();
+    for hc in [None, Some(HardenConfig::ilr_only()), Some(HardenConfig::haft())] {
+        let mut agg = CampaignReport::default();
+        for name in names {
+            let w = workload_by_name(name, Scale::Small).unwrap();
+            let module = match &hc {
+                Some(hc) => harden(&w.module, hc),
+                None => w.module.clone(),
+            };
+            let cfg = CampaignConfig {
+                injections,
+                seed: 0x7AB4,
+                vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
+                ..Default::default()
+            };
+            agg.merge(&run_campaign(&module, w.run_spec(), &cfg));
+        }
+        reports.push(agg);
+    }
+    let lines: [(&str, fn(&CampaignReport) -> f64); 4] = [
+        ("Masked (%)", |r| r.pct(Outcome::Masked)),
+        ("SDC (%)", |r| r.pct(Outcome::Sdc)),
+        ("Crashed (%)", |r| {
+            r.pct(Outcome::Hang) + r.pct(Outcome::OsDetected) + r.pct(Outcome::IlrDetected)
+        }),
+        ("HAFT-correctable (%)", |r| r.pct(Outcome::HaftCorrected)),
+    ];
+    for (label, f) in lines {
+        println!(
+            "{:<22}{:>10.1}{:>10.1}{:>10.1}",
+            label,
+            f(&reports[0]),
+            f(&reports[1]),
+            f(&reports[2])
+        );
+    }
+}

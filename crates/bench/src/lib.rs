@@ -1,0 +1,90 @@
+//! Shared harness for the table/figure regeneration benches.
+//!
+//! Each `benches/<id>.rs` target reproduces one table or figure of the
+//! paper's evaluation; `cargo bench --workspace` runs them all and prints
+//! the same rows/series the paper reports. Absolute numbers come from the
+//! simulator — EXPERIMENTS.md records the paper-vs-measured comparison.
+
+use haft_passes::{harden, HardenConfig};
+use haft_vm::{RunOutcome, RunResult, Vm, VmConfig};
+use haft_workloads::Workload;
+
+/// Per-benchmark transaction-size threshold, mirroring the paper's
+/// methodology: "we set for each benchmark the transaction size to the
+/// greatest value such that the percentage of aborts is sufficiently low"
+/// (§5.3 — e.g. 1000 for kmeans and pca, 5000 for stringmatch and
+/// blackscholes).
+pub fn recommended_threshold(name: &str) -> u64 {
+    match name {
+        "kmeans" | "pca" | "wordcount" | "streamcluster" | "vips" => 1000,
+        "swaptions" | "ferret" | "dedup" => 2000,
+        _ => 5000,
+    }
+}
+
+/// Fast mode: honor `HAFT_BENCH_FAST=1` to shrink sweeps during CI runs.
+pub fn fast_mode() -> bool {
+    std::env::var("HAFT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Builds a VM configuration for a perf run.
+pub fn vm_config(threads: usize, threshold: u64) -> VmConfig {
+    VmConfig {
+        n_threads: threads,
+        tx_threshold: threshold,
+        max_instructions: 2_000_000_000,
+        ..Default::default()
+    }
+}
+
+/// Runs one workload module under a VM config; checks completion.
+pub fn run_checked(w: &Workload, module: &haft_ir::module::Module, cfg: VmConfig) -> RunResult {
+    let r = Vm::run(module, cfg, w.run_spec());
+    assert_eq!(r.outcome, RunOutcome::Completed, "{} did not complete", w.name);
+    r
+}
+
+/// Measures normalized runtime of `hc` over native for one workload.
+pub fn overhead(w: &Workload, hc: &HardenConfig, threads: usize) -> (f64, RunResult) {
+    let threshold = recommended_threshold(w.name);
+    let native = run_checked(w, &w.module, vm_config(threads, threshold));
+    let hardened = harden(&w.module, hc);
+    let r = run_checked(w, &hardened, vm_config(threads, threshold));
+    assert_eq!(r.output, native.output, "{}: output diverged", w.name);
+    (r.wall_cycles as f64 / native.wall_cycles as f64, r)
+}
+
+/// Prints a table header row.
+pub fn header(cols: &[&str]) {
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{:<16}{}", "benchmark", row.join(""));
+    println!("{}", "-".repeat(16 + 12 * cols.len()));
+}
+
+/// Prints one formatted row.
+pub fn row(name: &str, vals: &[f64]) {
+    let cells: Vec<String> = vals.iter().map(|v| format!("{v:>12.2}")).collect();
+    println!("{name:<16}{}", cells.join(""));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_follow_paper_examples() {
+        assert_eq!(recommended_threshold("kmeans"), 1000);
+        assert_eq!(recommended_threshold("pca"), 1000);
+        assert_eq!(recommended_threshold("stringmatch"), 5000);
+        assert_eq!(recommended_threshold("blackscholes"), 5000);
+    }
+
+    #[test]
+    fn overhead_runs_end_to_end() {
+        let w = haft_workloads::workload_by_name("histogram", haft_workloads::Scale::Small)
+            .unwrap();
+        let (oh, r) = overhead(&w, &HardenConfig::haft(), 2);
+        assert!(oh > 1.0, "hardening must cost something: {oh}");
+        assert!(r.htm.commits > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! YCSB-style workload generation (Zipfian and latest distributions).
+
+use haft_ir::rng::Prng;
+
+/// A key-value operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    Read(u64),
+    Update(u64),
+    Insert(u64),
+}
+
+impl Op {
+    /// Encodes the operation for the IR program: `kind << 56 | key`.
+    pub fn encode(self) -> u64 {
+        match self {
+            Op::Read(k) => k,
+            Op::Update(k) => (1 << 56) | k,
+            Op::Insert(k) => (2 << 56) | k,
+        }
+    }
+}
+
+/// The two YCSB mixes the paper evaluates (Figure 11 / 12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadMix {
+    /// Workload A: 50 % reads, 50 % updates, Zipfian key distribution.
+    A,
+    /// Workload D: 95 % reads, 5 % inserts, "latest" distribution.
+    D,
+    /// mcblaster-style uniform reads over a small key range (the SEI
+    /// comparison setup: key range 1,000).
+    Uniform,
+}
+
+/// Deterministic YCSB-style generator.
+pub struct YcsbGen {
+    rng: Prng,
+    keyspace: u64,
+    /// Zipfian skew (YCSB default 0.99).
+    theta: f64,
+    zeta_n: f64,
+    /// Most recently inserted key (for the latest distribution).
+    latest: u64,
+}
+
+impl YcsbGen {
+    /// Creates a generator over `keyspace` keys.
+    pub fn new(seed: u64, keyspace: u64) -> Self {
+        let theta = 0.99;
+        let zeta_n = (1..=keyspace).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        YcsbGen { rng: Prng::new(seed), keyspace, theta, zeta_n, latest: keyspace / 2 }
+    }
+
+    /// Draws a Zipfian-distributed key (scrambled, as YCSB does, so hot
+    /// keys spread over the keyspace).
+    pub fn zipfian(&mut self) -> u64 {
+        // Inverse-CDF approximation (Gray et al., as used by YCSB).
+        let u = self.rng.unit_f64();
+        let alpha = 1.0 / (1.0 - self.theta);
+        let eta = (1.0 - (2.0 / self.keyspace as f64).powf(1.0 - self.theta))
+            / (1.0 - zeta(2.0, self.theta) / self.zeta_n);
+        let uz = u * self.zeta_n;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            (self.keyspace as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64
+        };
+        // Scramble with a fixed multiplier to spread hot ranks.
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.keyspace
+    }
+
+    /// Draws a "latest"-distributed key: skewed toward recent inserts.
+    pub fn latest_key(&mut self) -> u64 {
+        let u = self.rng.unit_f64();
+        // Exponentially decaying recency window.
+        let back = (-(u.max(1e-12)).ln() * self.keyspace as f64 / 20.0) as u64;
+        self.latest.wrapping_sub(back % self.keyspace) % self.keyspace
+    }
+
+    /// Generates `n` operations of the given mix.
+    pub fn generate(&mut self, mix: WorkloadMix, n: usize) -> Vec<Op> {
+        (0..n)
+            .map(|_| match mix {
+                WorkloadMix::A => {
+                    let k = self.zipfian();
+                    if self.rng.chance(0.5) {
+                        Op::Read(k)
+                    } else {
+                        Op::Update(k)
+                    }
+                }
+                WorkloadMix::D => {
+                    if self.rng.chance(0.05) {
+                        self.latest = (self.latest + 1) % self.keyspace;
+                        Op::Insert(self.latest)
+                    } else {
+                        Op::Read(self.latest_key())
+                    }
+                }
+                WorkloadMix::Uniform => Op::Read(self.rng.below(self.keyspace)),
+            })
+            .collect()
+    }
+
+    /// Generates and encodes operations as the IR-visible `u64` stream.
+    pub fn generate_encoded(&mut self, mix: WorkloadMix, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n * 8);
+        for op in self.generate(mix, n) {
+            out.extend_from_slice(&op.encode().to_le_bytes());
+        }
+        out
+    }
+}
+
+fn zeta(n: f64, theta: f64) -> f64 {
+    (1..=n as u64).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = YcsbGen::new(7, 1000);
+        let mut b = YcsbGen::new(7, 1000);
+        assert_eq!(a.generate(WorkloadMix::A, 100), b.generate(WorkloadMix::A, 100));
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut g = YcsbGen::new(3, 1000);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.zipfian()).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest key should take a large share (Zipf 0.99 over 1000
+        // keys: several percent), far above uniform (0.1 %).
+        assert!(freqs[0] > 400, "hottest {}", freqs[0]);
+        // And keys stay in range.
+        assert!(counts.keys().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn mix_ratios_roughly_hold() {
+        let mut g = YcsbGen::new(5, 1000);
+        let ops = g.generate(WorkloadMix::A, 10_000);
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        assert!((4000..6000).contains(&reads), "A reads {reads}");
+
+        let ops = g.generate(WorkloadMix::D, 10_000);
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert!((300..800).contains(&inserts), "D inserts {inserts}");
+    }
+
+    #[test]
+    fn encoding_roundtrips_kind_and_key() {
+        assert_eq!(Op::Read(42).encode(), 42);
+        assert_eq!(Op::Update(42).encode() >> 56, 1);
+        assert_eq!(Op::Update(42).encode() & 0xFFFF_FFFF, 42);
+        assert_eq!(Op::Insert(7).encode() >> 56, 2);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut g = YcsbGen::new(9, 100);
+        let ops = g.generate(WorkloadMix::Uniform, 5000);
+        let distinct: std::collections::HashSet<u64> = ops
+            .iter()
+            .map(|o| match o {
+                Op::Read(k) => *k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(distinct.len() > 90);
+    }
+}

@@ -1,0 +1,211 @@
+//! Campaign driver: plan, inject, classify — in parallel.
+
+use haft_ir::module::Module;
+use haft_ir::rng::Prng;
+use haft_vm::{FaultPlan, RunOutcome, RunSpec, Vm, VmConfig};
+
+use crate::classify::classify;
+use crate::report::CampaignReport;
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of injection runs (the paper uses 2,500 per program; the
+    /// in-repo default campaigns are smaller, see the bench harness).
+    pub injections: u64,
+    /// Seed for fault planning.
+    pub seed: u64,
+    /// OS threads to spread the runs over.
+    pub parallelism: usize,
+    /// VM configuration for every run (simulated thread count, HTM
+    /// parameters, ...). The fault plan field is overwritten per run.
+    pub vm: VmConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            injections: 200,
+            seed: 0xFA_17,
+            parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            vm: VmConfig { n_threads: 2, ..Default::default() },
+        }
+    }
+}
+
+/// Runs a full campaign against `module` and returns the aggregated
+/// report plus the golden (fault-free) output.
+///
+/// # Panics
+///
+/// Panics if the fault-free reference run does not complete — the program
+/// under test must be correct before injecting faults into it.
+pub fn run_campaign(module: &Module, spec: RunSpec<'_>, cfg: &CampaignConfig) -> CampaignReport {
+    // Step 1: reference run — trace size and golden output.
+    let mut ref_cfg = cfg.vm.clone();
+    ref_cfg.fault = None;
+    let golden = Vm::run(module, ref_cfg.clone(), spec);
+    assert_eq!(
+        golden.outcome,
+        RunOutcome::Completed,
+        "reference run must complete cleanly"
+    );
+    let population = golden.register_writes.max(1);
+
+    // Step 2: plan the injections (uniform over the dynamic trace, random
+    // XOR masks — the paper's weighted-random selection).
+    let mut rng = Prng::new(cfg.seed);
+    let plans: Vec<FaultPlan> = (0..cfg.injections)
+        .map(|_| FaultPlan {
+            occurrence: rng.below(population),
+            xor_mask: rng.next_u64(),
+        })
+        .collect();
+
+    // Step 3: execute and classify, fanned out over OS threads.
+    let workers = cfg.parallelism.max(1);
+    let chunk = plans.len().div_ceil(workers);
+    let mut report = CampaignReport::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in plans.chunks(chunk.max(1)) {
+            let vm_cfg = cfg.vm.clone();
+            let golden_out = &golden.output;
+            handles.push(scope.spawn(move || {
+                let mut local = CampaignReport::default();
+                for plan in piece {
+                    let mut c = vm_cfg.clone();
+                    c.fault = Some(*plan);
+                    let r = Vm::run(module, c, spec);
+                    local.record(classify(&r, golden_out));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            report.merge(&h.join().expect("campaign worker panicked"));
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Outcome;
+    use haft_ir::builder::FunctionBuilder;
+    use haft_ir::inst::Operand;
+    use haft_ir::module::GlobalId;
+    use haft_ir::types::Ty;
+    use haft_passes::{harden, HardenConfig};
+
+    /// A small single-threaded reduction program with some dead state
+    /// (the scratch global never reaches the output, so faults landing in
+    /// that flow are masked — the Table 1 "Masked" class).
+    fn program() -> Module {
+        let mut m = Module::new("t");
+        m.add_global("acc", 8);
+        m.add_global("scratch", 8);
+        let g = Operand::GlobalAddr(GlobalId(0));
+        let dead = Operand::GlobalAddr(GlobalId(1));
+        let mut fb = FunctionBuilder::new("fini", &[], None);
+        fb.set_non_local();
+        fb.counted_loop(fb.iconst(Ty::I64, 0), fb.iconst(Ty::I64, 120), |b, i| {
+            let cur = b.load(Ty::I64, g);
+            let x = b.mul(Ty::I64, i, b.iconst(Ty::I64, 7));
+            let nxt = b.add(Ty::I64, cur, x);
+            b.store(Ty::I64, nxt, g);
+            // Dead flow: computed, stored, never read back into output.
+            let d = b.load(Ty::I64, dead);
+            let d2 = b.bin(haft_ir::inst::BinOp::Xor, Ty::I64, d, x);
+            let d3 = b.mul(Ty::I64, d2, b.iconst(Ty::I64, 13));
+            b.store(Ty::I64, d3, dead);
+        });
+        let v = fb.load(Ty::I64, g);
+        fb.emit_out(Ty::I64, v);
+        fb.ret(None);
+        m.push_func(fb.finish());
+        m
+    }
+
+    fn spec() -> RunSpec<'static> {
+        RunSpec { fini: Some("fini"), ..Default::default() }
+    }
+
+    fn campaign(n: u64) -> CampaignConfig {
+        CampaignConfig {
+            injections: n,
+            seed: 42,
+            parallelism: 2,
+            vm: VmConfig {
+                n_threads: 1,
+                max_instructions: 5_000_000,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let m = program();
+        let a = run_campaign(&m, spec(), &campaign(60));
+        let b = run_campaign(&m, spec(), &campaign(60));
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.runs, 60);
+    }
+
+    #[test]
+    fn native_program_shows_sdc_and_masking() {
+        let m = program();
+        let r = run_campaign(&m, spec(), &campaign(150));
+        assert!(r.pct(Outcome::Sdc) > 5.0, "native must corrupt: {}", r.summary());
+        assert!(r.pct(Outcome::Masked) > 2.0, "some faults mask: {}", r.summary());
+        assert_eq!(r.pct(Outcome::HaftCorrected), 0.0, "no recovery without HAFT");
+        assert_eq!(r.pct(Outcome::IlrDetected), 0.0, "no detection without ILR");
+    }
+
+    #[test]
+    fn ilr_converts_sdc_to_detection() {
+        let m = program();
+        let native = run_campaign(&m, spec(), &campaign(150));
+        let hardened = harden(&m, &HardenConfig::ilr_only());
+        let r = run_campaign(&hardened, spec(), &campaign(150));
+        assert!(
+            r.pct(Outcome::Sdc) < native.pct(Outcome::Sdc) / 2.0,
+            "ILR {} vs native {}",
+            r.summary(),
+            native.summary()
+        );
+        assert!(r.pct(Outcome::IlrDetected) > 10.0, "{}", r.summary());
+    }
+
+    #[test]
+    fn haft_recovers_detected_faults() {
+        let m = program();
+        let hardened = harden(&m, &HardenConfig::haft());
+        let r = run_campaign(&hardened, spec(), &campaign(150));
+        assert!(r.pct(Outcome::HaftCorrected) > 10.0, "{}", r.summary());
+        assert!(
+            r.pct(Outcome::IlrDetected) < 20.0,
+            "most detections should recover: {}",
+            r.summary()
+        );
+        assert!(r.pct(Outcome::Sdc) < 5.0, "{}", r.summary());
+    }
+
+    #[test]
+    #[should_panic(expected = "reference run must complete")]
+    fn broken_reference_panics() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("fini", &[], None);
+        fb.set_non_local();
+        let l = fb.new_block();
+        fb.br(l);
+        fb.switch_to(l);
+        fb.br(l);
+        m.push_func(fb.finish());
+        let mut c = campaign(1);
+        c.vm.max_instructions = 1000;
+        run_campaign(&m, spec(), &c);
+    }
+}

@@ -1,0 +1,150 @@
+//! Outcome classification (the paper's Table 1).
+
+use haft_vm::{RunOutcome, RunResult};
+
+/// Classification of one fault-injection run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The program exceeded its budget (unresponsive).
+    Hang,
+    /// The OS terminated the program (trap).
+    OsDetected,
+    /// An ILR check fired and the program fail-stopped
+    /// (no transaction to roll back, or retries exhausted).
+    IlrDetected,
+    /// An ILR check fired inside a transaction, the rollback re-executed
+    /// cleanly, and the output is correct.
+    HaftCorrected,
+    /// The fault had no effect on the output.
+    Masked,
+    /// Silent data corruption: the run completed with wrong output.
+    Sdc,
+}
+
+impl Outcome {
+    /// The paper's three summary groups (Table 1's right column).
+    pub fn group(self) -> Group {
+        match self {
+            Outcome::Hang | Outcome::OsDetected | Outcome::IlrDetected => Group::Crashed,
+            Outcome::HaftCorrected | Outcome::Masked => Group::Correct,
+            Outcome::Sdc => Group::Corrupted,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Hang => "hang",
+            Outcome::OsDetected => "os-detected",
+            Outcome::IlrDetected => "ilr-detected",
+            Outcome::HaftCorrected => "haft-corrected",
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+        }
+    }
+
+    /// All outcomes, in reporting order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Hang,
+        Outcome::OsDetected,
+        Outcome::IlrDetected,
+        Outcome::HaftCorrected,
+        Outcome::Masked,
+        Outcome::Sdc,
+    ];
+}
+
+/// Availability groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Group {
+    Crashed,
+    Correct,
+    Corrupted,
+}
+
+/// Classifies one injected run against the golden reference.
+pub fn classify(run: &RunResult, golden: &[u64]) -> Outcome {
+    match run.outcome {
+        RunOutcome::Hang => Outcome::Hang,
+        RunOutcome::Trapped(_) => Outcome::OsDetected,
+        RunOutcome::Detected => Outcome::IlrDetected,
+        RunOutcome::Completed => {
+            if run.output == golden {
+                if run.recoveries > 0 {
+                    Outcome::HaftCorrected
+                } else {
+                    Outcome::Masked
+                }
+            } else {
+                Outcome::Sdc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haft_htm::HtmStats;
+
+    fn result(outcome: RunOutcome, output: Vec<u64>, recoveries: u64) -> RunResult {
+        RunResult {
+            outcome,
+            output,
+            wall_cycles: 1,
+            cpu_cycles: 1,
+            instructions: 1,
+            register_writes: 1,
+            htm: HtmStats::default(),
+            detections: recoveries,
+            recoveries,
+            mispredicts: 0,
+        }
+    }
+
+    #[test]
+    fn table1_mapping() {
+        let golden = vec![1, 2, 3];
+        assert_eq!(classify(&result(RunOutcome::Hang, vec![], 0), &golden), Outcome::Hang);
+        assert_eq!(
+            classify(
+                &result(RunOutcome::Trapped(haft_vm::Trap::DivByZero), vec![], 0),
+                &golden
+            ),
+            Outcome::OsDetected
+        );
+        assert_eq!(
+            classify(&result(RunOutcome::Detected, vec![], 0), &golden),
+            Outcome::IlrDetected
+        );
+        assert_eq!(
+            classify(&result(RunOutcome::Completed, vec![1, 2, 3], 0), &golden),
+            Outcome::Masked
+        );
+        assert_eq!(
+            classify(&result(RunOutcome::Completed, vec![1, 2, 3], 2), &golden),
+            Outcome::HaftCorrected
+        );
+        assert_eq!(
+            classify(&result(RunOutcome::Completed, vec![9, 2, 3], 0), &golden),
+            Outcome::Sdc
+        );
+    }
+
+    #[test]
+    fn recovery_with_wrong_output_is_still_sdc() {
+        let golden = vec![1];
+        let r = result(RunOutcome::Completed, vec![2], 3);
+        assert_eq!(classify(&r, &golden), Outcome::Sdc);
+    }
+
+    #[test]
+    fn groups() {
+        assert_eq!(Outcome::Hang.group(), Group::Crashed);
+        assert_eq!(Outcome::OsDetected.group(), Group::Crashed);
+        assert_eq!(Outcome::IlrDetected.group(), Group::Crashed);
+        assert_eq!(Outcome::HaftCorrected.group(), Group::Correct);
+        assert_eq!(Outcome::Masked.group(), Group::Correct);
+        assert_eq!(Outcome::Sdc.group(), Group::Corrupted);
+    }
+}

@@ -1,0 +1,110 @@
+//! Aggregation of campaign results.
+
+use std::collections::BTreeMap;
+
+use crate::classify::{Group, Outcome};
+
+/// Aggregated results of one injection campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    pub counts: BTreeMap<Outcome, u64>,
+    pub runs: u64,
+}
+
+impl CampaignReport {
+    /// Records one outcome.
+    pub fn record(&mut self, o: Outcome) {
+        *self.counts.entry(o).or_insert(0) += 1;
+        self.runs += 1;
+    }
+
+    /// Percentage of runs with this outcome.
+    pub fn pct(&self, o: Outcome) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        100.0 * self.counts.get(&o).copied().unwrap_or(0) as f64 / self.runs as f64
+    }
+
+    /// Percentage of runs in a Table-1 group.
+    pub fn group_pct(&self, g: Group) -> f64 {
+        Outcome::ALL
+            .iter()
+            .filter(|o| o.group() == g)
+            .map(|o| self.pct(*o))
+            .sum()
+    }
+
+    /// Detection rate: faults that did not result in SDC, as a percentage
+    /// (the paper's "98.9 % of data corruptions detected" headline is
+    /// `100 - pct(Sdc)` against the native SDC population).
+    pub fn non_sdc_pct(&self) -> f64 {
+        100.0 - self.pct(Outcome::Sdc)
+    }
+
+    /// Merges another report (for parallel workers).
+    pub fn merge(&mut self, other: &CampaignReport) {
+        for (o, n) in &other.counts {
+            *self.counts.entry(*o).or_insert(0) += n;
+        }
+        self.runs += other.runs;
+    }
+
+    /// One-line summary used by the bench harness.
+    pub fn summary(&self) -> String {
+        let cols: Vec<String> = Outcome::ALL
+            .iter()
+            .map(|o| format!("{} {:5.1}%", o.label(), self.pct(*o)))
+            .collect();
+        format!("[{} runs] {}", self.runs, cols.join("  "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut r = CampaignReport::default();
+        for _ in 0..3 {
+            r.record(Outcome::Masked);
+        }
+        r.record(Outcome::Sdc);
+        let total: f64 = Outcome::ALL.iter().map(|o| r.pct(*o)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((r.pct(Outcome::Masked) - 75.0).abs() < 1e-9);
+        assert!((r.non_sdc_pct() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_percentages() {
+        let mut r = CampaignReport::default();
+        r.record(Outcome::Hang);
+        r.record(Outcome::IlrDetected);
+        r.record(Outcome::HaftCorrected);
+        r.record(Outcome::Sdc);
+        assert!((r.group_pct(Group::Crashed) - 50.0).abs() < 1e-9);
+        assert!((r.group_pct(Group::Correct) - 25.0).abs() < 1e-9);
+        assert!((r.group_pct(Group::Corrupted) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CampaignReport::default();
+        a.record(Outcome::Masked);
+        let mut b = CampaignReport::default();
+        b.record(Outcome::Sdc);
+        b.record(Outcome::Sdc);
+        a.merge(&b);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.counts[&Outcome::Sdc], 2);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = CampaignReport::default();
+        assert_eq!(r.pct(Outcome::Sdc), 0.0);
+        assert!(r.summary().contains("[0 runs]"));
+    }
+}

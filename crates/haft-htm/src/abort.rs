@@ -1,0 +1,84 @@
+//! Transaction abort causes, classified as the paper's Table 3 does.
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// Another thread's access conflicted with our read/write set.
+    Conflict,
+    /// A write-set line was evicted from L1 (or the read-set bound was
+    /// exceeded).
+    Capacity,
+    /// Explicit `XABORT` issued by an ILR detection check.
+    IlrDetected,
+    /// Explicit `XABORT` for any other reason (tests, lock-elision
+    /// fallback).
+    Explicit,
+    /// An instruction that TSX cannot execute transactionally (syscall,
+    /// I/O, x87 — the paper's "unfriendly instructions").
+    Unfriendly,
+    /// The transaction outlived the timer-interrupt budget.
+    Timer,
+    /// Residual spontaneous abort (the paper's "other" causes).
+    Spontaneous,
+}
+
+impl AbortCause {
+    /// Maps the cause onto the paper's three reporting buckets
+    /// (Table 3: Capacity / Conflict / Other).
+    ///
+    /// Explicit ILR aborts are *recovery*, not failures; they are excluded
+    /// from abort-cause breakdowns (`None`).
+    pub fn table3_bucket(self) -> Option<Table3Bucket> {
+        match self {
+            AbortCause::Capacity => Some(Table3Bucket::Capacity),
+            AbortCause::Conflict => Some(Table3Bucket::Conflict),
+            AbortCause::Unfriendly | AbortCause::Timer | AbortCause::Spontaneous
+            | AbortCause::Explicit => Some(Table3Bucket::Other),
+            AbortCause::IlrDetected => None,
+        }
+    }
+}
+
+/// The three abort-cause buckets of the paper's Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Table3Bucket {
+    Capacity,
+    Conflict,
+    Other,
+}
+
+impl std::fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AbortCause::Conflict => "conflict",
+            AbortCause::Capacity => "capacity",
+            AbortCause::IlrDetected => "ilr-detected",
+            AbortCause::Explicit => "explicit",
+            AbortCause::Unfriendly => "unfriendly",
+            AbortCause::Timer => "timer",
+            AbortCause::Spontaneous => "spontaneous",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_match_table3() {
+        assert_eq!(AbortCause::Capacity.table3_bucket(), Some(Table3Bucket::Capacity));
+        assert_eq!(AbortCause::Conflict.table3_bucket(), Some(Table3Bucket::Conflict));
+        assert_eq!(AbortCause::Timer.table3_bucket(), Some(Table3Bucket::Other));
+        assert_eq!(AbortCause::Spontaneous.table3_bucket(), Some(Table3Bucket::Other));
+        assert_eq!(AbortCause::Unfriendly.table3_bucket(), Some(Table3Bucket::Other));
+        assert_eq!(AbortCause::IlrDetected.table3_bucket(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AbortCause::Conflict.to_string(), "conflict");
+        assert_eq!(AbortCause::IlrDetected.to_string(), "ilr-detected");
+    }
+}

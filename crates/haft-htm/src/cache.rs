@@ -1,0 +1,109 @@
+//! L1 set-associative occupancy model.
+//!
+//! Real TSX pins the write set in L1: a write-set line forced out of its
+//! set aborts the transaction, while read-set lines can spill (they are
+//! tracked by a secondary structure). We model each physical core's L1 as
+//! per-set LRU rings of line tags; every access (transactional or not, and
+//! from either hyper-thread of the core) touches the ring, and the model
+//! reports which line — if any — was evicted. The HTM system then checks
+//! the victim line against the resident transactions' write sets.
+
+/// Per-core L1 occupancy tracker.
+#[derive(Clone, Debug)]
+pub struct L1Model {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl L1Model {
+    /// Creates an empty L1 with `n_sets` sets of `ways` ways.
+    pub fn new(n_sets: usize, ways: usize) -> Self {
+        L1Model { sets: vec![Vec::with_capacity(ways); n_sets], ways }
+    }
+
+    /// Records an access to `line` mapping to `set`; returns the evicted
+    /// line, if the access forced one out.
+    pub fn touch(&mut self, set: usize, line: u64) -> Option<u64> {
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&l| l == line) {
+            // MRU promotion.
+            let l = s.remove(pos);
+            s.push(l);
+            return None;
+        }
+        let evicted = if s.len() == self.ways { Some(s.remove(0)) } else { None };
+        s.push(line);
+        evicted
+    }
+
+    /// Returns true if `line` is currently resident in `set`.
+    pub fn resident(&self, set: usize, line: u64) -> bool {
+        self.sets[set].contains(&line)
+    }
+
+    /// Number of resident lines in `set`.
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.sets[set].len()
+    }
+
+    /// Drops all resident lines (e.g. between independent experiments).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_up_to_ways_without_eviction() {
+        let mut l1 = L1Model::new(4, 2);
+        assert_eq!(l1.touch(0, 10), None);
+        assert_eq!(l1.touch(0, 20), None);
+        assert_eq!(l1.occupancy(0), 2);
+        assert!(l1.resident(0, 10));
+    }
+
+    #[test]
+    fn evicts_lru_line() {
+        let mut l1 = L1Model::new(4, 2);
+        l1.touch(0, 10);
+        l1.touch(0, 20);
+        // 10 is LRU; a third line evicts it.
+        assert_eq!(l1.touch(0, 30), Some(10));
+        assert!(!l1.resident(0, 10));
+        assert!(l1.resident(0, 20));
+        assert!(l1.resident(0, 30));
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut l1 = L1Model::new(4, 2);
+        l1.touch(0, 10);
+        l1.touch(0, 20);
+        l1.touch(0, 10); // Promote 10; now 20 is LRU.
+        assert_eq!(l1.touch(0, 30), Some(20));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l1 = L1Model::new(4, 1);
+        assert_eq!(l1.touch(0, 10), None);
+        assert_eq!(l1.touch(1, 20), None);
+        assert_eq!(l1.touch(0, 30), Some(10));
+        assert!(l1.resident(1, 20));
+    }
+
+    #[test]
+    fn clear_empties_all_sets() {
+        let mut l1 = L1Model::new(2, 2);
+        l1.touch(0, 1);
+        l1.touch(1, 2);
+        l1.clear();
+        assert_eq!(l1.occupancy(0), 0);
+        assert_eq!(l1.occupancy(1), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! HTM simulator configuration.
+
+/// Parameters of the simulated TSX implementation.
+///
+/// Defaults model the paper's Haswell testbed: 32 KB 8-way L1 with 64-byte
+/// lines (64 sets), a ~1 MB read-set soft bound, and a timer-interrupt
+/// budget of one million cycles (~0.3 ms at 2 GHz — the thresholds quoted
+/// in §2.2 after which "more than 10 % of transactions abort").
+#[derive(Clone, Debug)]
+pub struct HtmConfig {
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Number of L1 sets.
+    pub l1_sets: usize,
+    /// L1 associativity; evicting a write-set way aborts.
+    pub l1_ways: usize,
+    /// Maximum distinct read-set lines before a capacity abort.
+    pub read_set_lines: usize,
+    /// Cycles a transaction may run before the timer interrupt aborts it.
+    pub cycle_budget: u64,
+    /// Probability of a spontaneous abort per 1000 transactional cycles
+    /// (the residual "other" causes of Table 3).
+    pub spontaneous_per_kcycle: f64,
+    /// Hyper-threading: logical thread pairs `(2k, 2k+1)` share one L1.
+    pub smt: bool,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            line_bytes: 64,
+            l1_sets: 64,
+            l1_ways: 8,
+            read_set_lines: 16 * 1024, // 1 MB of 64-byte lines.
+            cycle_budget: 1_000_000,
+            spontaneous_per_kcycle: 2e-4,
+            smt: false,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// Returns the cache line containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    /// Returns the L1 set index of a line.
+    pub fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.l1_sets
+    }
+
+    /// Returns the lines covered by `[addr, addr + len)`.
+    pub fn lines_of_range(&self, addr: u64, len: u64) -> impl Iterator<Item = u64> + '_ {
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + len.max(1) - 1);
+        first..=last
+    }
+
+    /// Returns the physical core hosting a logical thread.
+    pub fn core_of(&self, tid: usize) -> usize {
+        if self.smt {
+            tid / 2
+        } else {
+            tid
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_haswell_l1() {
+        let c = HtmConfig::default();
+        assert_eq!(c.line_bytes * c.l1_sets as u64 * c.l1_ways as u64, 32 * 1024);
+    }
+
+    #[test]
+    fn line_and_set_math() {
+        let c = HtmConfig::default();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.set_of(63), 63);
+        assert_eq!(c.set_of(64), 0);
+    }
+
+    #[test]
+    fn range_spanning_lines() {
+        let c = HtmConfig::default();
+        let lines: Vec<u64> = c.lines_of_range(60, 8).collect();
+        assert_eq!(lines, vec![0, 1]);
+        let one: Vec<u64> = c.lines_of_range(0, 1).collect();
+        assert_eq!(one, vec![0]);
+        let zero_len: Vec<u64> = c.lines_of_range(128, 0).collect();
+        assert_eq!(zero_len, vec![2]);
+    }
+
+    #[test]
+    fn smt_pairs_share_cores() {
+        let mut c = HtmConfig::default();
+        assert_eq!(c.core_of(3), 3);
+        c.smt = true;
+        assert_eq!(c.core_of(0), 0);
+        assert_eq!(c.core_of(1), 0);
+        assert_eq!(c.core_of(2), 1);
+        assert_eq!(c.core_of(3), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Commit/abort accounting.
+
+use std::collections::HashMap;
+
+use crate::abort::{AbortCause, Table3Bucket};
+
+/// Aggregate transaction statistics for one run.
+#[derive(Clone, Debug, Default)]
+pub struct HtmStats {
+    /// Transactions begun (including retries).
+    pub started: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts by cause.
+    pub aborts: HashMap<AbortCause, u64>,
+    /// Times the retry budget was exhausted and execution fell back to
+    /// non-transactional mode.
+    pub fallbacks: u64,
+    /// Cycles spent inside transactions (attempted, whether or not they
+    /// committed) — the numerator of the paper's code-coverage metric.
+    pub tx_cycles: u64,
+    /// Total cycles of the measured phase (coverage denominator).
+    pub total_cycles: u64,
+}
+
+impl HtmStats {
+    /// Total aborts across causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Aborts excluding explicit ILR-recovery aborts (the paper's Table 3
+    /// reports only environment-caused aborts).
+    pub fn environment_aborts(&self) -> u64 {
+        self.aborts
+            .iter()
+            .filter(|(c, _)| c.table3_bucket().is_some())
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Abort rate in percent: aborts / started, as the paper reports it.
+    pub fn abort_rate_pct(&self) -> f64 {
+        if self.started == 0 {
+            return 0.0;
+        }
+        100.0 * self.environment_aborts() as f64 / self.started as f64
+    }
+
+    /// Percentage of environment aborts falling into a Table 3 bucket.
+    pub fn bucket_pct(&self, bucket: Table3Bucket) -> f64 {
+        let total = self.environment_aborts();
+        if total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .aborts
+            .iter()
+            .filter(|(c, _)| c.table3_bucket() == Some(bucket))
+            .map(|(_, n)| *n)
+            .sum();
+        100.0 * n as f64 / total as f64
+    }
+
+    /// Fraction of measured cycles spent inside transactions, in percent
+    /// (Table 2's code-coverage column).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        100.0 * self.tx_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Records one abort.
+    pub fn record_abort(&mut self, cause: AbortCause) {
+        *self.aborts.entry(cause).or_insert(0) += 1;
+    }
+
+    /// Merges another stats block into this one (per-thread → aggregate).
+    pub fn merge(&mut self, other: &HtmStats) {
+        self.started += other.started;
+        self.commits += other.commits;
+        self.fallbacks += other.fallbacks;
+        self.tx_cycles += other.tx_cycles;
+        self.total_cycles += other.total_cycles;
+        for (c, n) in &other.aborts {
+            *self.aborts.entry(*c).or_insert(0) += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HtmStats {
+        let mut s = HtmStats { started: 200, commits: 180, ..Default::default() };
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Conflict);
+        s.record_abort(AbortCause::Capacity);
+        s.record_abort(AbortCause::Spontaneous);
+        s.record_abort(AbortCause::IlrDetected);
+        s
+    }
+
+    #[test]
+    fn abort_rate_excludes_ilr_recovery() {
+        let s = sample();
+        assert_eq!(s.total_aborts(), 5);
+        assert_eq!(s.environment_aborts(), 4);
+        assert!((s.abort_rate_pct() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_percentages_sum_to_100() {
+        let s = sample();
+        let sum = s.bucket_pct(Table3Bucket::Capacity)
+            + s.bucket_pct(Table3Bucket::Conflict)
+            + s.bucket_pct(Table3Bucket::Other);
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((s.bucket_pct(Table3Bucket::Conflict) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage() {
+        let s = HtmStats { tx_cycles: 90, total_cycles: 100, ..Default::default() };
+        assert!((s.coverage_pct() - 90.0).abs() < 1e-9);
+        let empty = HtmStats::default();
+        assert_eq!(empty.coverage_pct(), 0.0);
+        assert_eq!(empty.abort_rate_pct(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.started, 400);
+        assert_eq!(a.total_aborts(), 10);
+        assert_eq!(a.aborts[&AbortCause::Conflict], 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the HTM system's accounting and isolation
+//! invariants under random access sequences.
+
+use haft_htm::{AccessKind, Htm, HtmConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Act {
+    Begin(u8),
+    Commit(u8),
+    ExplicitAbort(u8),
+    Read(u8, u16),
+    Write(u8, u16),
+}
+
+fn act_strategy(threads: u8) -> impl Strategy<Value = Act> {
+    prop_oneof![
+        (0..threads).prop_map(Act::Begin),
+        (0..threads).prop_map(Act::Commit),
+        (0..threads).prop_map(Act::ExplicitAbort),
+        (0..threads, any::<u16>()).prop_map(|(t, a)| Act::Read(t, a)),
+        (0..threads, any::<u16>()).prop_map(|(t, a)| Act::Write(t, a)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every started transaction ends exactly once: started == commits +
+    /// aborts, and no thread is left with a pending doom after its
+    /// transaction ends.
+    #[test]
+    fn accounting_balances(acts in proptest::collection::vec(act_strategy(4), 1..200)) {
+        let mut htm = Htm::new(HtmConfig::default(), 4);
+        for act in &acts {
+            match *act {
+                Act::Begin(t) => {
+                    let t = t as usize;
+                    if !htm.in_tx(t) {
+                        htm.begin(t, 0);
+                    }
+                }
+                Act::Commit(t) => {
+                    let t = t as usize;
+                    if htm.in_tx(t) {
+                        htm.commit(t);
+                        prop_assert!(htm.doomed(t).is_none());
+                    }
+                }
+                Act::ExplicitAbort(t) => {
+                    let t = t as usize;
+                    if htm.in_tx(t) {
+                        htm.abort(t, haft_htm::AbortCause::Explicit);
+                        prop_assert!(htm.doomed(t).is_none());
+                    }
+                }
+                Act::Read(t, a) => {
+                    htm.access(t as usize, a as u64 * 8, 8, AccessKind::Read);
+                }
+                Act::Write(t, a) => {
+                    htm.access(t as usize, a as u64 * 8, 8, AccessKind::Write);
+                }
+            }
+        }
+        // Close everything out.
+        for t in 0..4 {
+            if htm.in_tx(t) {
+                htm.abort(t, haft_htm::AbortCause::Explicit);
+            }
+        }
+        let s = &htm.stats;
+        prop_assert_eq!(s.started, s.commits + s.total_aborts(),
+            "started {} != commits {} + aborts {}", s.started, s.commits, s.total_aborts());
+    }
+
+    /// Isolation: if two live transactions touched the same line and at
+    /// least one wrote it, at least one of them is doomed.
+    #[test]
+    fn conflicting_writers_never_both_survive(line in 0u64..64, reader_first in any::<bool>()) {
+        let mut htm = Htm::new(HtmConfig::default(), 2);
+        htm.begin(0, 0);
+        htm.begin(1, 0);
+        let addr = line * 64;
+        if reader_first {
+            htm.access(0, addr, 8, AccessKind::Read);
+            htm.access(1, addr, 8, AccessKind::Write);
+        } else {
+            htm.access(0, addr, 8, AccessKind::Write);
+            htm.access(1, addr, 8, AccessKind::Write);
+        }
+        prop_assert!(htm.doomed(0).is_some() || htm.doomed(1).is_some());
+    }
+
+    /// Disjoint lines never conflict, regardless of interleaving.
+    #[test]
+    fn disjoint_transactions_commit(offsets in proptest::collection::vec(0u64..1000, 1..30)) {
+        let mut htm = Htm::new(HtmConfig { l1_sets: 1 << 14, ..Default::default() }, 2);
+        htm.begin(0, 0);
+        htm.begin(1, 0);
+        for (i, off) in offsets.iter().enumerate() {
+            // Thread 0 in even lines, thread 1 in odd lines: disjoint.
+            let base = off * 128;
+            if i % 2 == 0 {
+                htm.access(0, base, 8, AccessKind::Write);
+            } else {
+                htm.access(1, base + 64, 8, AccessKind::Write);
+            }
+        }
+        prop_assert!(htm.doomed(0).is_none(), "{:?}", htm.doomed(0));
+        prop_assert!(htm.doomed(1).is_none(), "{:?}", htm.doomed(1));
+        prop_assert!(htm.commit(0));
+        prop_assert!(htm.commit(1));
+    }
+
+    /// Capacity: writing more distinct same-set lines than the
+    /// associativity always aborts; staying within it never does.
+    #[test]
+    fn capacity_boundary_is_exact(extra in 0usize..4) {
+        let cfg = HtmConfig { l1_sets: 4, l1_ways: 4, ..Default::default() };
+        let sets = cfg.l1_sets as u64;
+        let mut htm = Htm::new(cfg, 1);
+        htm.begin(0, 0);
+        let n = 4 + extra;
+        for i in 0..n {
+            // All map to set 0.
+            htm.access(0, i as u64 * 64 * sets, 8, AccessKind::Write);
+        }
+        if extra == 0 {
+            prop_assert!(htm.doomed(0).is_none());
+        } else {
+            prop_assert_eq!(htm.doomed(0), Some(haft_htm::AbortCause::Capacity));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Control-flow-graph utilities: predecessors, reachability, orderings.
+
+use crate::function::{BlockId, Function};
+
+/// Predecessor lists and traversal orders for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Predecessors of each block, in deterministic discovery order.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Successors of each block (cached from terminators).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Reverse postorder over reachable blocks, starting at the entry.
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` for unreachable blocks.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let succs: Vec<Vec<BlockId>> =
+            (0..n).map(|i| f.successors(BlockId(i as u32))).collect();
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (b, ss) in succs.iter().enumerate() {
+            for s in ss {
+                let from = BlockId(b as u32);
+                if !preds[s.0 as usize].contains(&from) {
+                    preds[s.0 as usize].push(from);
+                }
+            }
+        }
+
+        // Iterative DFS postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack entries: (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().0 as usize] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let s = ss[*i];
+                *i += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Returns true if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::types::Ty;
+
+    /// entry -> header <-> body, header -> exit.
+    fn loop_func() -> Function {
+        let mut fb = FunctionBuilder::new("l", &[Ty::I64], None);
+        let n = fb.param(0);
+        fb.counted_loop(fb.iconst(Ty::I64, 0), n, |_, _| {});
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable_blocks() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo[0], f.entry());
+        assert_eq!(cfg.rpo.len(), 4);
+        for b in &cfg.rpo {
+            assert!(cfg.is_reachable(*b));
+        }
+    }
+
+    #[test]
+    fn preds_are_inverse_of_succs() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        for (b, ss) in cfg.succs.iter().enumerate() {
+            for s in ss {
+                assert!(cfg.preds[s.0 as usize].contains(&BlockId(b as u32)));
+            }
+        }
+        // The loop header has two preds: entry and the latch.
+        let header = BlockId(1);
+        assert_eq!(cfg.preds[header.0 as usize].len(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut fb = FunctionBuilder::new("u", &[], None);
+        fb.ret(None);
+        let dead = fb.new_block();
+        fb.switch_to(dead);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+
+    #[test]
+    fn rpo_orders_header_before_body_and_exit() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        let pos = |b: u32| cfg.rpo_index[b as usize];
+        // entry(0) < header(1); header < body(2); header < exit(3).
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+        assert!(pos(1) < pos(3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Dominator-tree construction (Cooper–Harvey–Kennedy).
+
+use crate::cfg::Cfg;
+use crate::function::{BlockId, Function};
+
+/// Immediate-dominator tree over the reachable blocks of one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry's idom
+    /// is itself; unreachable blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree using the Cooper–Harvey–Kennedy
+    /// iterative algorithm over reverse postorder.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let entry = f.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.0 as usize] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor (must already have an idom).
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                a = idom[a.0 as usize].expect("processed block has idom");
+            }
+            while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                b = idom[b.0 as usize].expect("processed block has idom");
+            }
+        }
+        a
+    }
+
+    /// Returns true if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Returns true if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::types::Ty;
+
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("d", &[Ty::I64], Some(Ty::I64));
+        let a = fb.param(0);
+        let c = fb.cmp(CmpOp::SGt, Ty::I64, a, fb.iconst(Ty::I64, 0));
+        let r = fb.if_then_else(
+            Ty::I64,
+            c,
+            |b| b.iconst(Ty::I64, 1),
+            |b| b.iconst(Ty::I64, 2),
+        );
+        fb.ret(Some(r.into()));
+        fb.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let entry = BlockId(0);
+        let then_b = BlockId(1);
+        let else_b = BlockId(2);
+        let join = BlockId(3);
+        assert!(dt.dominates(entry, join));
+        assert!(dt.dominates(entry, then_b));
+        assert!(!dt.dominates(then_b, join), "join has two preds");
+        assert!(!dt.dominates(else_b, join));
+        assert_eq!(dt.idom[join.0 as usize], Some(entry));
+        assert!(dt.strictly_dominates(entry, join));
+        assert!(!dt.strictly_dominates(entry, entry));
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_exit() {
+        let mut fb = FunctionBuilder::new("l", &[Ty::I64], None);
+        let n = fb.param(0);
+        fb.counted_loop(fb.iconst(Ty::I64, 0), n, |_, _| {});
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let header = BlockId(1);
+        let body = BlockId(2);
+        let exit = BlockId(3);
+        assert!(dt.dominates(header, body));
+        assert!(dt.dominates(header, exit));
+        assert!(!dt.dominates(body, exit));
+    }
+
+    #[test]
+    fn entry_is_its_own_idom() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom[0], Some(BlockId(0)));
+    }
+}

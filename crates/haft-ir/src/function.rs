@@ -1,0 +1,314 @@
+//! Functions, basic blocks, and SSA value bookkeeping.
+
+use crate::inst::{Inst, InstMeta, Op, Operand};
+use crate::types::Ty;
+
+/// Identifies an SSA value within one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifies an instruction within one function's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Identifies a basic block within one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// How an SSA value is defined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// Type and definition of one SSA value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueInfo {
+    pub ty: Ty,
+    pub def: ValueDef,
+}
+
+/// A basic block: an ordered list of instruction ids ending in a terminator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Block {
+    pub insts: Vec<InstId>,
+}
+
+/// Function attributes relevant to the HAFT passes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnAttrs {
+    /// External functions are never transformed (the paper's unprotected
+    /// library code, e.g. libc functions outside the hardened musl subset).
+    pub external: bool,
+    /// Local functions are only called from other hardened functions, which
+    /// enables the TX local-call optimization (paper §3.3). Functions called
+    /// from outside (e.g. `main`, thread entry points) must be black-listed
+    /// by clearing this flag.
+    pub local: bool,
+}
+
+/// A function in SSA form.
+///
+/// Instructions live in an arena (`insts`); blocks hold ordered id lists so
+/// that passes can splice new instructions cheaply. Every result-producing
+/// instruction has an entry in `results`, and `values` maps [`ValueId`] to
+/// its type and definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Ty>,
+    pub ret_ty: Option<Ty>,
+    pub blocks: Vec<Block>,
+    pub insts: Vec<Inst>,
+    /// Result value of each instruction (parallel to `insts`).
+    pub results: Vec<Option<ValueId>>,
+    pub values: Vec<ValueInfo>,
+    pub attrs: FnAttrs,
+}
+
+impl Function {
+    /// Creates an empty function with a single (empty) entry block.
+    ///
+    /// Parameters are assigned the first `params.len()` value ids.
+    pub fn new(name: impl Into<String>, params: &[Ty], ret_ty: Option<Ty>) -> Self {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| ValueInfo { ty, def: ValueDef::Param(i as u32) })
+            .collect();
+        Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret_ty,
+            blocks: vec![Block::default()],
+            insts: Vec::new(),
+            results: Vec::new(),
+            values,
+            attrs: FnAttrs { external: false, local: true },
+        }
+    }
+
+    /// Returns the entry block (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Returns the value id of the `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param_value(&self, i: usize) -> ValueId {
+        assert!(i < self.params.len(), "parameter index out of range");
+        ValueId(i as u32)
+    }
+
+    /// Returns the type of a value.
+    pub fn value_ty(&self, v: ValueId) -> Ty {
+        self.values[v.0 as usize].ty
+    }
+
+    /// Returns the definition of a value.
+    pub fn value_def(&self, v: ValueId) -> ValueDef {
+        self.values[v.0 as usize].def
+    }
+
+    /// Returns the type of an operand.
+    pub fn operand_ty(&self, o: &Operand) -> Ty {
+        match o {
+            Operand::Value(v) => self.value_ty(*v),
+            Operand::Imm(_, ty) => *ty,
+            Operand::F64Bits(_) => Ty::F64,
+            Operand::GlobalAddr(_) | Operand::FuncAddr(_) => Ty::Ptr,
+        }
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Creates an instruction in the arena (not yet placed in any block).
+    ///
+    /// Returns the instruction id and, if the opcode produces a value, the
+    /// freshly allocated result value id.
+    pub fn create_inst(&mut self, op: Op) -> (InstId, Option<ValueId>) {
+        self.create_inst_meta(op, InstMeta::default())
+    }
+
+    /// Creates an instruction with explicit metadata.
+    pub fn create_inst_meta(&mut self, op: Op, meta: InstMeta) -> (InstId, Option<ValueId>) {
+        let id = InstId(self.insts.len() as u32);
+        let result = op.result_ty().map(|ty| {
+            let v = ValueId(self.values.len() as u32);
+            self.values.push(ValueInfo { ty, def: ValueDef::Inst(id) });
+            v
+        });
+        self.insts.push(Inst { op, meta });
+        self.results.push(result);
+        result.inspect(|_| ()); // Keep clippy quiet about unused inspect pattern.
+        (id, result)
+    }
+
+    /// Appends an already-created instruction to a block.
+    pub fn push_to_block(&mut self, b: BlockId, inst: InstId) {
+        self.blocks[b.0 as usize].insts.push(inst);
+    }
+
+    /// Inserts an already-created instruction at `pos` within a block.
+    pub fn insert_in_block(&mut self, b: BlockId, pos: usize, inst: InstId) {
+        self.blocks[b.0 as usize].insts.insert(pos, inst);
+    }
+
+    /// Returns the result value of an instruction, if any.
+    pub fn inst_result(&self, id: InstId) -> Option<ValueId> {
+        self.results[id.0 as usize]
+    }
+
+    /// Returns a reference to an instruction.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.0 as usize]
+    }
+
+    /// Returns a mutable reference to an instruction.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.0 as usize]
+    }
+
+    /// Returns the terminator instruction id of a block, if the block ends
+    /// in one.
+    pub fn terminator(&self, b: BlockId) -> Option<InstId> {
+        let last = *self.blocks[b.0 as usize].insts.last()?;
+        self.inst(last).op.is_terminator().then_some(last)
+    }
+
+    /// Returns the successors of a block (empty for `ret`/`tx_abort`).
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match self.terminator(b) {
+            Some(t) => self.inst(t).op.successors(),
+            None => vec![],
+        }
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Counts instructions currently placed in blocks (excluding `Nop`s).
+    pub fn placed_inst_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|id| !matches!(self.inst(**id).op, Op::Nop))
+            .count()
+    }
+
+    /// Removes `Nop` instructions from all block lists.
+    pub fn compact_nops(&mut self) {
+        let insts = &self.insts;
+        for b in &mut self.blocks {
+            b.insts.retain(|id| !matches!(insts[id.0 as usize].op, Op::Nop));
+        }
+    }
+
+    /// Replaces every use of value `from` with operand `to` in all placed
+    /// instructions.
+    pub fn replace_uses(&mut self, from: ValueId, to: Operand) {
+        for inst in &mut self.insts {
+            inst.op.map_operands(|o| {
+                if *o == Operand::Value(from) {
+                    *o = to;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Operand};
+
+    fn sample() -> Function {
+        let mut f = Function::new("f", &[Ty::I64, Ty::I64], Some(Ty::I64));
+        let a = f.param_value(0);
+        let b = f.param_value(1);
+        let (add, sum) = f.create_inst(Op::Bin {
+            op: BinOp::Add,
+            ty: Ty::I64,
+            a: a.into(),
+            b: b.into(),
+        });
+        f.push_to_block(f.entry(), add);
+        let (ret, _) = f.create_inst(Op::Ret { val: Some(sum.unwrap().into()) });
+        f.push_to_block(f.entry(), ret);
+        f
+    }
+
+    #[test]
+    fn params_get_first_value_ids() {
+        let f = sample();
+        assert_eq!(f.param_value(0), ValueId(0));
+        assert_eq!(f.param_value(1), ValueId(1));
+        assert_eq!(f.value_ty(ValueId(0)), Ty::I64);
+        assert_eq!(f.value_def(ValueId(0)), ValueDef::Param(0));
+    }
+
+    #[test]
+    fn instruction_results_are_tracked() {
+        let f = sample();
+        let add = InstId(0);
+        let v = f.inst_result(add).expect("add produces a value");
+        assert_eq!(f.value_ty(v), Ty::I64);
+        assert_eq!(f.value_def(v), ValueDef::Inst(add));
+        assert_eq!(f.inst_result(InstId(1)), None, "ret produces no value");
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let f = sample();
+        assert_eq!(f.terminator(f.entry()), Some(InstId(1)));
+        assert!(f.successors(f.entry()).is_empty());
+    }
+
+    #[test]
+    fn block_insertion_preserves_order() {
+        let mut f = sample();
+        let (nop, _) = f.create_inst(Op::Nop);
+        f.insert_in_block(f.entry(), 1, nop);
+        assert_eq!(f.blocks[0].insts, vec![InstId(0), InstId(2), InstId(1)]);
+        assert_eq!(f.placed_inst_count(), 2, "nop not counted");
+        f.compact_nops();
+        assert_eq!(f.blocks[0].insts, vec![InstId(0), InstId(1)]);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands() {
+        let mut f = sample();
+        let sum = f.inst_result(InstId(0)).unwrap();
+        f.replace_uses(sum, Operand::imm(7, Ty::I64));
+        match &f.inst(InstId(1)).op {
+            Op::Ret { val: Some(Operand::Imm(7, Ty::I64)) } => {}
+            other => panic!("ret not rewritten: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operand_types() {
+        let f = sample();
+        assert_eq!(f.operand_ty(&Operand::imm(1, Ty::I32)), Ty::I32);
+        assert_eq!(f.operand_ty(&Operand::f64(1.0)), Ty::F64);
+        assert_eq!(f.operand_ty(&Operand::Value(ValueId(0))), Ty::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index out of range")]
+    fn param_out_of_range_panics() {
+        sample().param_value(5);
+    }
+}

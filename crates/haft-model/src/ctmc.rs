@@ -1,0 +1,225 @@
+//! Dense continuous-time Markov chains with a uniformization-based
+//! transient solver.
+
+/// A CTMC over `n` states given by its generator matrix `Q` (row-major):
+/// `q[i][j]` is the transition rate `i -> j` for `i != j`, and each
+/// diagonal entry is minus the row's off-diagonal sum.
+#[derive(Clone, Debug)]
+pub struct Ctmc {
+    n: usize,
+    q: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Builds a chain from off-diagonal rates; diagonals are derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is not `n × n` or contains negative
+    /// off-diagonal entries.
+    pub fn from_rates(n: usize, rates: &[f64]) -> Self {
+        assert_eq!(rates.len(), n * n, "rate matrix must be n*n");
+        let mut q = rates.to_vec();
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    assert!(q[i * n + j] >= 0.0, "negative rate");
+                    sum += q[i * n + j];
+                }
+            }
+            q[i * n + i] = -sum;
+        }
+        Ctmc { n, q }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Rate `i -> j`.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.q[i * self.n + j]
+    }
+
+    /// Expected fraction of `[0, horizon]` spent in each state, starting
+    /// from distribution `pi0`, via uniformization:
+    ///
+    /// `∫₀ᵀ π(t) dt = (1/Λ) Σ_k π₀ Pᵏ · Pr[Poisson(ΛT) > k]`
+    ///
+    /// with `P = I + Q/Λ`. The series is truncated once the remaining
+    /// Poisson tail mass is below `1e-10`.
+    pub fn occupancy(&self, pi0: &[f64], horizon: f64) -> Vec<f64> {
+        assert_eq!(pi0.len(), self.n);
+        assert!(horizon > 0.0);
+        let lambda = (0..self.n)
+            .map(|i| -self.q[i * self.n + i])
+            .fold(0.0f64, f64::max)
+            .max(1e-12)
+            * 1.0001;
+        let lt = lambda * horizon;
+
+        // P = I + Q/Λ.
+        let mut p = vec![0.0; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                p[i * self.n + j] =
+                    self.q[i * self.n + j] / lambda + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+
+        // Iterate v_k = π₀ Pᵏ while accumulating tail weights.
+        // poisson(k) computed iteratively in log space via scaling.
+        let mut v = pi0.to_vec();
+        let mut acc = vec![0.0; self.n];
+        // Start with Pr[N > -1] = 1; tail_k = Pr[N > k] = tail_{k-1} - pmf(k).
+        // pmf(0) = exp(-lt); use stable iterative pmf with renormalizing
+        // for very large lt via the normal-approximation starting point.
+        let mut tail = 1.0f64;
+        let mut log_pmf = -lt; // ln pmf(0).
+        let max_iter = (lt + 12.0 * lt.sqrt() + 64.0) as usize;
+        for k in 0..max_iter {
+            let pmf = log_pmf.exp();
+            tail -= pmf;
+            let w = tail.max(0.0);
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x * w;
+            }
+            if w < 1e-10 && k as f64 > lt {
+                break;
+            }
+            // v <- v P.
+            let mut next = vec![0.0; self.n];
+            for i in 0..self.n {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                for j in 0..self.n {
+                    next[j] += vi * p[i * self.n + j];
+                }
+            }
+            v = next;
+            // pmf(k+1) = pmf(k) * lt / (k+1).
+            log_pmf += (lt / (k as f64 + 1.0)).ln();
+        }
+        // Normalize: ∫ dt / (Λ·T) gives fractions.
+        for a in &mut acc {
+            *a /= lt / lambda * lambda; // = lt; kept explicit for clarity.
+        }
+        acc
+    }
+
+    /// Steady-state distribution via power iteration on the uniformized
+    /// chain.
+    pub fn steady_state(&self) -> Vec<f64> {
+        let lambda = (0..self.n)
+            .map(|i| -self.q[i * self.n + i])
+            .fold(0.0f64, f64::max)
+            .max(1e-12)
+            * 1.0001;
+        let mut v = vec![1.0 / self.n as f64; self.n];
+        for _ in 0..200_000 {
+            let mut next = vec![0.0; self.n];
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    let p = self.q[i * self.n + j] / lambda + if i == j { 1.0 } else { 0.0 };
+                    next[j] += v[i] * p;
+                }
+            }
+            let mut diff = 0.0;
+            for (a, b) in v.iter().zip(&next) {
+                diff += (a - b).abs();
+            }
+            v = next;
+            if diff < 1e-13 {
+                break;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state up/down chain with known availability.
+    fn updown(fail: f64, repair: f64) -> Ctmc {
+        Ctmc::from_rates(2, &[0.0, fail, repair, 0.0])
+    }
+
+    #[test]
+    fn diagonal_is_negative_row_sum() {
+        let c = updown(0.5, 2.0);
+        assert!((c.rate(0, 0) + 0.5).abs() < 1e-12);
+        assert!((c.rate(1, 1) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_matches_closed_form() {
+        let c = updown(0.5, 2.0);
+        let ss = c.steady_state();
+        // up = repair / (fail + repair) = 0.8.
+        assert!((ss[0] - 0.8).abs() < 1e-6, "{ss:?}");
+        assert!((ss[1] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_horizon_occupancy_approaches_steady_state() {
+        let c = updown(0.5, 2.0);
+        let occ = c.occupancy(&[1.0, 0.0], 1000.0);
+        assert!((occ[0] - 0.8).abs() < 0.01, "{occ:?}");
+        assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_horizon_occupancy_stays_near_initial_state() {
+        let c = updown(0.001, 0.001);
+        let occ = c.occupancy(&[1.0, 0.0], 1.0);
+        assert!(occ[0] > 0.999, "{occ:?}");
+    }
+
+    #[test]
+    fn occupancy_sums_to_one() {
+        let c = Ctmc::from_rates(
+            3,
+            &[
+                0.0, 0.3, 0.1, //
+                2.0, 0.0, 0.0, //
+                0.5, 0.0, 0.0,
+            ],
+        );
+        for t in [0.1, 1.0, 10.0, 500.0] {
+            let occ = c.occupancy(&[1.0, 0.0, 0.0], t);
+            let sum: f64 = occ.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "t={t}: {occ:?}");
+        }
+    }
+
+    #[test]
+    fn transient_matches_analytic_two_state() {
+        // For an up/down chain starting up, expected up-occupancy over
+        // [0,T] is a/(a+b) + b/(a+b)^2/T * (1 - exp(-(a+b)T)) with
+        // a=repair, b=fail.
+        let (fail, repair) = (0.7, 1.3);
+        let c = updown(fail, repair);
+        let t = 3.0;
+        let s = fail + repair;
+        let expected = repair / s + fail / (s * s * t) * (1.0 - (-s * t).exp());
+        let occ = c.occupancy(&[1.0, 0.0], t);
+        assert!((occ[0] - expected).abs() < 1e-6, "{} vs {}", occ[0], expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate matrix must be n*n")]
+    fn wrong_size_panics() {
+        Ctmc::from_rates(2, &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! The HAFT compiler passes.
+//!
+//! This crate is the reproduction of the paper's primary contribution: two
+//! IR-to-IR transformations that together make an unmodified multithreaded
+//! program fault-tolerant.
+//!
+//! * [`ilr`] — **Instruction-Level Redundancy** (paper §3.2/§3.3, the
+//!   ~830-LoC LLVM pass): replicates every computational instruction into
+//!   a *shadow* data flow inside the same thread, inserts master/shadow
+//!   checks before memory updates, externalizations, and control flow, and
+//!   implements the paper's refinements — the shared-memory access
+//!   optimization (Figure 3), safe control-flow protection via shadow
+//!   basic blocks (Figure 4), the fault-propagation check for loop
+//!   induction variables, and the check-elision peephole.
+//!
+//! * [`tx`] — **Transactification** (the ~540-LoC LLVM pass): covers the
+//!   program in hardware transactions at function and loop granularity,
+//!   using per-thread instruction counters with conditional transaction
+//!   splits to bound transaction sizes, the local-function-call
+//!   optimization, pessimistic splits around external calls and
+//!   transaction-unfriendly operations, and the begin/end peephole.
+//!
+//! * [`pipeline`] — configuration plumbing: compose the passes into the
+//!   paper's evaluated variants (native / ILR-only / TX-only / HAFT) and
+//!   the cumulative optimization levels of Figure 7.
+//!
+//! # Examples
+//!
+//! ```
+//! use haft_ir::builder::FunctionBuilder;
+//! use haft_ir::module::Module;
+//! use haft_ir::types::Ty;
+//! use haft_passes::pipeline::{harden, HardenConfig};
+//!
+//! let mut m = Module::new("demo");
+//! let mut fb = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+//! let x = fb.param(0);
+//! let y = fb.add(Ty::I64, x, fb.iconst(Ty::I64, 1));
+//! fb.ret(Some(y.into()));
+//! m.push_func(fb.finish());
+//!
+//! let hardened = harden(&m, &HardenConfig::haft());
+//! assert!(haft_ir::verify::verify_module(&hardened).is_ok());
+//! // The hardened function contains the shadow flow and transaction
+//! // boundaries, so it is strictly larger.
+//! assert!(hardened.total_inst_count() > m.total_inst_count());
+//! ```
+
+pub mod ilr;
+pub mod pipeline;
+pub mod tx;
+
+pub use ilr::IlrConfig;
+pub use pipeline::{harden, HardenConfig, OptLevel};
+pub use tx::TxConfig;

@@ -1,0 +1,151 @@
+//! Pass composition: the paper's evaluated configurations.
+
+use haft_ir::module::Module;
+
+use crate::ilr::{run_ilr_module, IlrConfig};
+use crate::tx::{run_tx_module, TxConfig};
+
+/// Cumulative optimization levels of Figure 7 / Figure 9 (right).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// `N` — no optimizations.
+    None,
+    /// `S` — + shared-memory access optimization.
+    SharedMem,
+    /// `C` — + control-flow protection.
+    ControlFlow,
+    /// `L` — + local function calls.
+    LocalCalls,
+    /// `F` — + fault propagation checks.
+    FaultProp,
+}
+
+impl OptLevel {
+    /// All levels in the paper's cumulative order.
+    pub const ALL: [OptLevel; 5] = [
+        OptLevel::None,
+        OptLevel::SharedMem,
+        OptLevel::ControlFlow,
+        OptLevel::LocalCalls,
+        OptLevel::FaultProp,
+    ];
+
+    /// Single-letter label used in the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::None => "N",
+            OptLevel::SharedMem => "S",
+            OptLevel::ControlFlow => "C",
+            OptLevel::LocalCalls => "L",
+            OptLevel::FaultProp => "F",
+        }
+    }
+}
+
+/// Which passes to run and how.
+#[derive(Clone, Debug, Default)]
+pub struct HardenConfig {
+    pub ilr: Option<IlrConfig>,
+    pub tx: Option<TxConfig>,
+}
+
+impl HardenConfig {
+    /// No transformation (the native baseline).
+    pub fn native() -> Self {
+        HardenConfig { ilr: None, tx: None }
+    }
+
+    /// Fault detection only (the paper's "ILR" rows).
+    pub fn ilr_only() -> Self {
+        HardenConfig { ilr: Some(IlrConfig::default()), tx: None }
+    }
+
+    /// Transactions only (the paper's "TX" rows).
+    pub fn tx_only() -> Self {
+        HardenConfig { ilr: None, tx: Some(TxConfig::default()) }
+    }
+
+    /// Full HAFT: ILR + TX with all optimizations.
+    pub fn haft() -> Self {
+        HardenConfig { ilr: Some(IlrConfig::default()), tx: Some(TxConfig::default()) }
+    }
+
+    /// Full HAFT with the lock-elision wrapper enabled.
+    pub fn haft_with_elision() -> Self {
+        let mut c = Self::haft();
+        if let Some(tx) = &mut c.tx {
+            tx.lock_elision = true;
+        }
+        c
+    }
+
+    /// HAFT at one of Figure 7's cumulative optimization levels.
+    pub fn at_opt_level(level: OptLevel) -> Self {
+        let ilr = IlrConfig {
+            shared_mem_opt: level >= OptLevel::SharedMem,
+            control_flow_protection: level >= OptLevel::ControlFlow,
+            fault_prop_check: level >= OptLevel::FaultProp,
+            check_elision: true,
+        };
+        let tx = TxConfig {
+            local_calls_opt: level >= OptLevel::LocalCalls,
+            ..TxConfig::default()
+        };
+        HardenConfig { ilr: Some(ilr), tx: Some(tx) }
+    }
+
+    /// Disables the TX local-call optimization (the paper's `vips-nc`).
+    pub fn without_local_calls(mut self) -> Self {
+        if let Some(tx) = &mut self.tx {
+            tx.local_calls_opt = false;
+        }
+        self
+    }
+}
+
+/// Applies the configured passes to a copy of `m`.
+pub fn harden(m: &Module, cfg: &HardenConfig) -> Module {
+    let mut out = m.clone();
+    if let Some(ilr) = &cfg.ilr {
+        run_ilr_module(&mut out, ilr);
+    }
+    if let Some(tx) = &cfg.tx {
+        run_tx_module(&mut out, tx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_levels_are_cumulative() {
+        let n = HardenConfig::at_opt_level(OptLevel::None);
+        assert!(!n.ilr.as_ref().unwrap().shared_mem_opt);
+        assert!(!n.tx.as_ref().unwrap().local_calls_opt);
+        let s = HardenConfig::at_opt_level(OptLevel::SharedMem);
+        assert!(s.ilr.as_ref().unwrap().shared_mem_opt);
+        assert!(!s.ilr.as_ref().unwrap().control_flow_protection);
+        let fprop = HardenConfig::at_opt_level(OptLevel::FaultProp);
+        assert!(fprop.ilr.as_ref().unwrap().fault_prop_check);
+        assert!(fprop.tx.as_ref().unwrap().local_calls_opt);
+    }
+
+    #[test]
+    fn preset_shapes() {
+        assert!(HardenConfig::native().ilr.is_none());
+        assert!(HardenConfig::ilr_only().tx.is_none());
+        assert!(HardenConfig::tx_only().ilr.is_none());
+        let h = HardenConfig::haft();
+        assert!(h.ilr.is_some() && h.tx.is_some());
+        assert!(HardenConfig::haft_with_elision().tx.unwrap().lock_elision);
+        assert!(!HardenConfig::haft().without_local_calls().tx.unwrap().local_calls_opt);
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<&str> = OptLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels, vec!["N", "S", "C", "L", "F"]);
+    }
+}

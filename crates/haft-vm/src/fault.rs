@@ -1,0 +1,56 @@
+//! Single-event-upset fault plans.
+//!
+//! The paper's injector (§4.2) picks a random dynamic occurrence of a
+//! register-writing instruction from an execution trace and XORs one of
+//! its output registers with a random integer. A [`FaultPlan`] is exactly
+//! that choice; the VM applies it when the global dynamic counter of
+//! register-writing instructions reaches `occurrence`.
+
+use haft_ir::types::Ty;
+
+/// One planned single-event upset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Zero-based index into the dynamic stream of register-writing
+    /// instructions (across all threads, in deterministic schedule order).
+    pub occurrence: u64,
+    /// XOR mask applied to the chosen output register.
+    pub xor_mask: u64,
+}
+
+impl FaultPlan {
+    /// Restricts the mask to the bits of the destination type, ensuring
+    /// the flip is visible (at least one bit set).
+    ///
+    /// An `i1` destination models a corrupted status flag (`EFLAGS`): the
+    /// paper calls out these faults as the cause of wrong branches.
+    pub fn effective_mask(&self, ty: Ty) -> u64 {
+        let m = self.xor_mask & ty.mask();
+        if m == 0 {
+            1
+        } else {
+            m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_is_truncated_to_type() {
+        let p = FaultPlan { occurrence: 0, xor_mask: 0xffff_0000_0000_ff00 };
+        assert_eq!(p.effective_mask(Ty::I64), 0xffff_0000_0000_ff00);
+        assert_eq!(p.effective_mask(Ty::I8), 1, "masked to zero -> forced single bit");
+        assert_eq!(p.effective_mask(Ty::I16), 0xff00);
+    }
+
+    #[test]
+    fn i1_faults_flip_the_flag() {
+        let p = FaultPlan { occurrence: 0, xor_mask: 0xdead_beef };
+        assert_eq!(p.effective_mask(Ty::I1), 1);
+        let p2 = FaultPlan { occurrence: 0, xor_mask: 0x2 };
+        assert_eq!(p2.effective_mask(Ty::I1), 1, "even-mask still flips bit 0");
+    }
+}

@@ -1,0 +1,207 @@
+//! Flat simulated memory with bounds checking.
+
+use haft_ir::module::{GlobalInit, Module};
+
+/// A run-time fault the "operating system" would catch (paper Table 1:
+/// *OS-detected*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Access outside the mapped region.
+    OutOfBounds { addr: u64, len: u64 },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Indirect call through a value that is not a function address.
+    BadIndirectCall { target: u64 },
+    /// Call-stack depth exceeded the limit.
+    StackOverflow,
+    /// Heap exhausted.
+    OutOfMemory,
+    /// Executed a phi outside the normal branch protocol (malformed IR).
+    MalformedIr,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr, len } => {
+                write!(f, "out-of-bounds access at {addr:#x} len {len}")
+            }
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::BadIndirectCall { target } => {
+                write!(f, "indirect call to non-function {target:#x}")
+            }
+            Trap::StackOverflow => write!(f, "call stack overflow"),
+            Trap::OutOfMemory => write!(f, "heap exhausted"),
+            Trap::MalformedIr => write!(f, "malformed IR"),
+        }
+    }
+}
+
+/// Byte-addressable flat memory holding globals and the bump heap.
+///
+/// Address 0 is never mapped so that null-pointer dereferences trap, the
+/// way they would under an MMU. Globals are laid out from address 64 with
+/// 64-byte alignment, so distinct globals never share a cache line; any
+/// sharing a workload exhibits is therefore deliberate.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    heap_next: u64,
+    /// Base address of each global, indexed by `GlobalId`.
+    pub global_bases: Vec<u64>,
+}
+
+impl Memory {
+    /// Creates a memory of `size` bytes and lays out the module's globals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the globals do not fit.
+    pub fn new(m: &Module, size: u64) -> Self {
+        let mut bytes = vec![0u8; size as usize];
+        let mut next = 64u64;
+        let mut global_bases = Vec::with_capacity(m.globals.len());
+        for g in &m.globals {
+            let base = next;
+            assert!(
+                base + g.size <= size,
+                "globals exceed memory: need {} have {}",
+                base + g.size,
+                size
+            );
+            if let GlobalInit::Bytes(init) = &g.init {
+                bytes[base as usize..base as usize + init.len()].copy_from_slice(init);
+            }
+            global_bases.push(base);
+            next = (base + g.size + 63) & !63;
+        }
+        Memory { bytes, heap_next: next, global_bases }
+    }
+
+    /// Total mapped size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Bump-allocates `size` bytes, 64-byte aligned.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, Trap> {
+        let base = self.heap_next;
+        let end = base.checked_add(size).ok_or(Trap::OutOfMemory)?;
+        if end > self.size() {
+            return Err(Trap::OutOfMemory);
+        }
+        self.heap_next = (end + 63) & !63;
+        Ok(base)
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<(), Trap> {
+        // Address 0..64 is the unmapped "null page".
+        if addr < 64 || addr.saturating_add(len) > self.size() {
+            return Err(Trap::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Loads `len` bytes (1, 2, 4, or 8) little-endian.
+    pub fn load(&self, addr: u64, len: u32) -> Result<u64, Trap> {
+        self.check(addr, len as u64)?;
+        let mut v = 0u64;
+        for i in (0..len as usize).rev() {
+            v = (v << 8) | self.bytes[addr as usize + i] as u64;
+        }
+        Ok(v)
+    }
+
+    /// Stores the low `len` bytes of `val` little-endian.
+    pub fn store(&mut self, addr: u64, len: u32, val: u64) -> Result<(), Trap> {
+        self.check(addr, len as u64)?;
+        for i in 0..len as usize {
+            self.bytes[addr as usize + i] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Reads a raw byte (no null-page check; used by diagnostics).
+    pub fn byte(&self, addr: u64) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte with bounds checking (used for commit of tx write
+    /// buffers).
+    pub fn store_byte(&mut self, addr: u64, val: u8) -> Result<(), Trap> {
+        self.check(addr, 1)?;
+        self.bytes[addr as usize] = val;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haft_ir::module::Module;
+
+    fn module_with_globals() -> Module {
+        let mut m = Module::new("t");
+        m.add_global("a", 100);
+        m.add_global_init("b", vec![0xaa, 0xbb]);
+        m
+    }
+
+    #[test]
+    fn globals_are_cache_line_aligned_and_initialized() {
+        let m = module_with_globals();
+        let mem = Memory::new(&m, 4096);
+        assert_eq!(mem.global_bases[0], 64);
+        assert_eq!(mem.global_bases[1] % 64, 0);
+        assert!(mem.global_bases[1] >= 64 + 100);
+        assert_eq!(mem.load(mem.global_bases[1], 2).unwrap(), 0xbbaa);
+    }
+
+    #[test]
+    fn null_page_traps() {
+        let m = Module::new("t");
+        let mem = Memory::new(&m, 4096);
+        assert!(matches!(mem.load(0, 8), Err(Trap::OutOfBounds { .. })));
+        assert!(matches!(mem.load(63, 1), Err(Trap::OutOfBounds { .. })));
+        assert!(mem.load(64, 8).is_ok());
+    }
+
+    #[test]
+    fn oob_traps() {
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m, 4096);
+        assert!(matches!(mem.load(4090, 8), Err(Trap::OutOfBounds { .. })));
+        assert!(matches!(mem.store(u64::MAX - 3, 8, 1), Err(Trap::OutOfBounds { .. })));
+        assert!(mem.store(4088, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let m = Module::new("t");
+        let mut mem = Memory::new(&m, 4096);
+        mem.store(100, 8, 0x1122334455667788).unwrap();
+        assert_eq!(mem.load(100, 8).unwrap(), 0x1122334455667788);
+        assert_eq!(mem.load(100, 1).unwrap(), 0x88);
+        assert_eq!(mem.load(104, 4).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn alloc_bumps_aligned_and_exhausts() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m, 1024);
+        let a = mem.alloc(10).unwrap();
+        let b = mem.alloc(10).unwrap();
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+        assert!(matches!(mem.alloc(100_000), Err(Trap::OutOfMemory)));
+    }
+
+    #[test]
+    #[should_panic(expected = "globals exceed memory")]
+    fn oversized_globals_panic() {
+        let mut m = Module::new("t");
+        m.add_global("big", 1 << 20);
+        Memory::new(&m, 4096);
+    }
+}

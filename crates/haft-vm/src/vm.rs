@@ -1,0 +1,1291 @@
+//! The virtual machine: interpreter, HAFT runtime, scheduler.
+
+use std::collections::HashMap;
+
+use haft_htm::{AbortCause, AccessKind, Htm, HtmConfig, HtmStats};
+use haft_ir::function::{BlockId, ValueId};
+use haft_ir::inst::{AbortCode, BinOp, Callee, CastKind, CmpOp, Op, Operand, RmwOp, UnOp};
+use haft_ir::module::{FuncId, Module};
+use haft_ir::rng::Prng;
+use haft_ir::types::Ty;
+
+use crate::cost::{CostConfig, Scoreboard};
+use crate::fault::FaultPlan;
+use crate::mem::{Memory, Trap};
+
+/// Function "addresses" for indirect calls start here.
+const FUNC_BASE: u64 = 0xF000_0000_0000_0000;
+/// Maximum call depth before a stack-overflow trap.
+const MAX_CALL_DEPTH: usize = 128;
+
+/// VM configuration.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// Number of simulated threads in the parallel phase.
+    pub n_threads: usize,
+    /// Run-time threshold consulted by `tx_cond_split` (the paper's
+    /// transaction-size parameter, in instructions).
+    pub tx_threshold: u64,
+    /// Transaction retries before falling back to non-transactional
+    /// execution (the paper's default is 3).
+    pub max_retries: u32,
+    /// HTM parameters.
+    pub htm: HtmConfig,
+    /// Enable HAFT's lock-elision wrapper (paper §3.3).
+    pub lock_elision: bool,
+    /// Core cost model.
+    pub cost: CostConfig,
+    /// Scheduler quantum in instructions (jittered per slice).
+    pub quantum: u64,
+    /// Seed for schedule jitter, spontaneous aborts, etc.
+    pub seed: u64,
+    /// Simulated memory size in bytes.
+    pub mem_bytes: u64,
+    /// Instruction budget; exceeding it classifies the run as a hang.
+    pub max_instructions: u64,
+    /// Optional single-event upset to inject.
+    pub fault: Option<FaultPlan>,
+    /// Adaptive transaction sizing (the paper's §7 future work): on an
+    /// abort a thread halves its private split threshold (floor 250); each
+    /// commit grows it back toward `tx_threshold`. Trades a little commit
+    /// overhead in contended phases for far fewer wasted re-executions.
+    pub adaptive_threshold: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            n_threads: 1,
+            tx_threshold: 1000,
+            max_retries: 3,
+            htm: HtmConfig::default(),
+            lock_elision: false,
+            cost: CostConfig::default(),
+            quantum: 64,
+            seed: 0x5EED_1234,
+            mem_bytes: 1 << 24,
+            max_instructions: 400_000_000,
+            fault: None,
+            adaptive_threshold: false,
+        }
+    }
+}
+
+/// Program entry points for the three execution phases.
+///
+/// Benchmarks follow the Phoenix/PARSEC shape: a serial setup phase, a
+/// parallel phase in which every thread runs `worker(tid, n_threads)`, and
+/// a serial reduction/output phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunSpec<'a> {
+    /// Serial setup, run on thread 0. Signature: `fn()`.
+    pub init: Option<&'a str>,
+    /// Parallel body, run on every thread. Signature: `fn(i64, i64)`.
+    pub worker: Option<&'a str>,
+    /// Serial reduction/output, run on thread 0. Signature: `fn()`.
+    pub fini: Option<&'a str>,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All phases finished.
+    Completed,
+    /// The "OS" terminated the program (Table 1: *OS-detected*).
+    Trapped(Trap),
+    /// An ILR check fired outside a transaction: fail-stop
+    /// (Table 1: *ILR-detected*).
+    Detected,
+    /// The instruction budget was exhausted (Table 1: *Hang*).
+    Hang,
+}
+
+/// Everything measured during one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub outcome: RunOutcome,
+    /// Emitted output, per-thread streams concatenated in thread order.
+    pub output: Vec<u64>,
+    /// End-to-end simulated time: serial phases plus the slowest thread of
+    /// the parallel phase.
+    pub wall_cycles: u64,
+    /// Sum of all threads' busy cycles (coverage denominator).
+    pub cpu_cycles: u64,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic register-writing instructions (the fault-injection space).
+    pub register_writes: u64,
+    /// HTM statistics (commits, aborts, coverage).
+    pub htm: HtmStats,
+    /// ILR checks that fired (detections), anywhere.
+    pub detections: u64,
+    /// Detections that triggered transactional rollback (recovery
+    /// attempts).
+    pub recoveries: u64,
+    /// Conditional-branch mispredictions (cost-model diagnostics).
+    pub mispredicts: u64,
+}
+
+impl RunResult {
+    /// True if the run completed and produced `expected` output.
+    pub fn output_matches(&self, expected: &[u64]) -> bool {
+        self.outcome == RunOutcome::Completed && self.output == expected
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<u64>,
+    ready: Vec<u64>,
+    /// Caller register to receive our return value.
+    return_to: Option<ValueId>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Blocked { lock: u64 },
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct TxSnapshot {
+    frames: Vec<Frame>,
+    counter: u64,
+}
+
+#[derive(Debug)]
+struct Thread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+    sb: Scoreboard,
+    /// TX pass instruction counter (thread-local in the paper).
+    counter: u64,
+    /// Current split threshold (fixed unless adaptive sizing is on).
+    threshold: u64,
+    /// Completion time of the last store per 8-byte cell, for store→load
+    /// dependency chains (what makes accumulator loops latency-bound).
+    store_done: HashMap<u64, u64>,
+    /// Flat-nesting depth; outermost transaction is depth 1.
+    tx_depth: u32,
+    retries: u32,
+    /// Retries exhausted: run non-transactionally until the next begin.
+    fallback: bool,
+    snapshot: Option<TxSnapshot>,
+    /// Speculative write buffer (byte overlay) of the open transaction.
+    overlay: HashMap<u64, u8>,
+    /// Addresses of currently elided locks.
+    elided: Vec<u64>,
+    tx_start_clock: u64,
+    last_poll_clock: u64,
+    /// 1-bit branch predictor, keyed by (func, inst).
+    bp: HashMap<u64, bool>,
+    emitted: Vec<u64>,
+}
+
+impl Thread {
+    fn new(_id: usize) -> Self {
+        Thread {
+            frames: Vec::new(),
+            state: ThreadState::Done,
+            sb: Scoreboard::default(),
+            counter: 0,
+            threshold: 0,
+            store_done: HashMap::new(),
+            tx_depth: 0,
+            retries: 0,
+            fallback: false,
+            snapshot: None,
+            overlay: HashMap::new(),
+            elided: Vec::new(),
+            tx_start_clock: 0,
+            last_poll_clock: 0,
+            bp: HashMap::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    fn in_tx(&self) -> bool {
+        self.tx_depth > 0
+    }
+}
+
+/// Control-flow signal from one interpreted instruction.
+enum Flow {
+    Continue,
+    /// The whole program must stop with this outcome.
+    Stop(RunOutcome),
+    /// This thread finished its entry function.
+    ThreadDone,
+    /// This thread is blocked on a lock; retry the same instruction later.
+    Blocked(u64),
+}
+
+/// The virtual machine for one run.
+pub struct Vm<'m> {
+    m: &'m Module,
+    cfg: VmConfig,
+    mem: Memory,
+    htm: Htm,
+    threads: Vec<Thread>,
+    rng: Prng,
+    lock_release_clock: HashMap<u64, u64>,
+    occ: u64,
+    instructions: u64,
+    detections: u64,
+    recoveries: u64,
+    mispredicts: u64,
+    fault: Option<FaultPlan>,
+    wall_cycles: u64,
+    cpu_cycles: u64,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM over `module`.
+    pub fn new(module: &'m Module, cfg: VmConfig) -> Self {
+        let mem = Memory::new(module, cfg.mem_bytes);
+        let htm = Htm::new(cfg.htm.clone(), cfg.n_threads.max(1));
+        let rng = Prng::new(cfg.seed);
+        let threads = (0..cfg.n_threads.max(1)).map(Thread::new).collect();
+        let fault = cfg.fault;
+        Vm {
+            m: module,
+            cfg,
+            mem,
+            htm,
+            threads,
+            rng,
+            lock_release_clock: HashMap::new(),
+            occ: 0,
+            instructions: 0,
+            detections: 0,
+            recoveries: 0,
+            mispredicts: 0,
+            fault,
+            wall_cycles: 0,
+            cpu_cycles: 0,
+        }
+    }
+
+    /// Executes all phases of `spec` and returns the measurements.
+    pub fn run(module: &'m Module, cfg: VmConfig, spec: RunSpec<'_>) -> RunResult {
+        let mut vm = Vm::new(module, cfg);
+        let outcome = vm.run_phases(spec);
+        vm.finish(outcome)
+    }
+
+    fn run_phases(&mut self, spec: RunSpec<'_>) -> RunOutcome {
+        if let Some(name) = spec.init {
+            match self.run_serial(name) {
+                RunOutcome::Completed => {}
+                other => return other,
+            }
+        }
+        if let Some(name) = spec.worker {
+            match self.run_parallel(name) {
+                RunOutcome::Completed => {}
+                other => return other,
+            }
+        }
+        if let Some(name) = spec.fini {
+            match self.run_serial(name) {
+                RunOutcome::Completed => {}
+                other => return other,
+            }
+        }
+        RunOutcome::Completed
+    }
+
+    fn finish(mut self, outcome: RunOutcome) -> RunResult {
+        // Account an open transaction's cycles (e.g. stopped mid-tx).
+        for t in &mut self.threads {
+            if t.in_tx() {
+                self.htm.stats.tx_cycles += t.sb.clock.saturating_sub(t.tx_start_clock);
+            }
+        }
+        self.htm.stats.total_cycles = self.cpu_cycles;
+        let mut output = Vec::new();
+        for t in &self.threads {
+            output.extend_from_slice(&t.emitted);
+        }
+        RunResult {
+            outcome,
+            output,
+            wall_cycles: self.wall_cycles,
+            cpu_cycles: self.cpu_cycles,
+            instructions: self.instructions,
+            register_writes: self.occ,
+            htm: self.htm.stats.clone(),
+            detections: self.detections,
+            recoveries: self.recoveries,
+            mispredicts: self.mispredicts,
+        }
+    }
+
+    fn func_id(&self, name: &str) -> FuncId {
+        self.m.func_by_name(name).unwrap_or_else(|| panic!("no function named {name}"))
+    }
+
+    fn make_frame(&self, fid: FuncId, args: &[u64], return_to: Option<ValueId>) -> Frame {
+        let f = self.m.func(fid);
+        assert_eq!(f.params.len(), args.len(), "arity mismatch calling {}", f.name);
+        let mut regs = vec![0u64; f.values.len()];
+        let ready = vec![0u64; f.values.len()];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = a & f.params[i].mask();
+        }
+        Frame { func: fid, block: f.entry(), idx: 0, regs, ready, return_to }
+    }
+
+    fn reset_thread_for(&mut self, tid: usize, fid: FuncId, args: &[u64]) {
+        let frame = self.make_frame(fid, args, None);
+        let rob = self.cfg.cost.rob;
+        let t = &mut self.threads[tid];
+        t.frames = vec![frame];
+        t.state = ThreadState::Ready;
+        t.sb = Scoreboard::with_rob(rob);
+        t.counter = 0;
+        t.threshold = self.cfg.tx_threshold;
+        t.store_done.clear();
+        t.tx_depth = 0;
+        t.retries = 0;
+        t.fallback = false;
+        t.snapshot = None;
+        t.overlay.clear();
+        t.elided.clear();
+        t.last_poll_clock = 0;
+    }
+
+    fn run_serial(&mut self, name: &str) -> RunOutcome {
+        let fid = self.func_id(name);
+        assert!(self.m.func(fid).params.is_empty(), "serial phase {name} must take no params");
+        self.reset_thread_for(0, fid, &[]);
+        let out = self.schedule(&[0]);
+        let clk = self.threads[0].sb.clock;
+        self.wall_cycles += clk;
+        self.cpu_cycles += clk;
+        out
+    }
+
+    fn run_parallel(&mut self, name: &str) -> RunOutcome {
+        let fid = self.func_id(name);
+        assert_eq!(self.m.func(fid).params.len(), 2, "worker {name} must take (tid, n)");
+        let n = self.cfg.n_threads.max(1);
+        for tid in 0..n {
+            self.reset_thread_for(tid, fid, &[tid as u64, n as u64]);
+        }
+        let tids: Vec<usize> = (0..n).collect();
+        let out = self.schedule(&tids);
+        let wall = tids.iter().map(|&t| self.threads[t].sb.clock).max().unwrap_or(0);
+        let cpu: u64 = tids.iter().map(|&t| self.threads[t].sb.clock).sum();
+        self.wall_cycles += wall;
+        self.cpu_cycles += cpu;
+        out
+    }
+
+    /// Clock-windowed scheduler: conservative discrete-event execution.
+    ///
+    /// All runnable threads are advanced to a common simulated-time
+    /// horizon before any thread may move past it, so per-thread clocks
+    /// stay within one window of each other. Transaction lifetimes and
+    /// remote accesses then overlap as they would on real concurrent
+    /// cores — the property the HTM conflict model needs (a naive
+    /// round-robin quantum scheduler leaves transactions open across
+    /// other threads' entire quanta and inflates conflict rates by an
+    /// order of magnitude).
+    fn schedule(&mut self, tids: &[usize]) -> RunOutcome {
+        loop {
+            // Unblock pass: threads whose lock was released become ready.
+            let mut all_done = true;
+            for &tid in tids {
+                match self.threads[tid].state {
+                    ThreadState::Done => {}
+                    ThreadState::Blocked { lock } => {
+                        all_done = false;
+                        if self.mem.load(lock, 8).map(|v| v == 0).unwrap_or(false) {
+                            self.threads[tid].state = ThreadState::Ready;
+                        }
+                    }
+                    ThreadState::Ready => all_done = false,
+                }
+            }
+            if all_done {
+                return RunOutcome::Completed;
+            }
+
+            // Horizon: smallest ready clock plus one jittered window.
+            let window = self.cfg.quantum.max(2);
+            let min_clock = tids
+                .iter()
+                .filter(|&&t| self.threads[t].state == ThreadState::Ready)
+                .map(|&t| self.threads[t].sb.clock)
+                .min();
+            let Some(min_clock) = min_clock else {
+                // Live threads exist but all are blocked and nobody can
+                // release a lock: deadlock, surfacing as a hang.
+                return RunOutcome::Hang;
+            };
+            let horizon = min_clock + window / 2 + self.rng.below(window);
+
+            for &tid in tids {
+                if self.threads[tid].state != ThreadState::Ready {
+                    continue;
+                }
+                while self.threads[tid].sb.clock < horizon {
+                    if self.instructions >= self.cfg.max_instructions {
+                        return RunOutcome::Hang;
+                    }
+                    match self.step(tid) {
+                        Flow::Continue => {}
+                        Flow::Stop(o) => return o,
+                        Flow::ThreadDone => {
+                            self.threads[tid].state = ThreadState::Done;
+                            break;
+                        }
+                        Flow::Blocked(lock) => {
+                            self.threads[tid].state = ThreadState::Blocked { lock };
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+
+    // --- operand evaluation ---------------------------------------------------
+
+    fn operand(&self, tid: usize, o: &Operand) -> (u64, u64) {
+        let frame = self.threads[tid].frames.last().expect("live frame");
+        match o {
+            Operand::Value(v) => (frame.regs[v.0 as usize], frame.ready[v.0 as usize]),
+            Operand::Imm(v, ty) => ((*v as u64) & ty.mask(), 0),
+            Operand::F64Bits(b) => (*b, 0),
+            Operand::GlobalAddr(g) => (self.mem.global_bases[g.0 as usize], 0),
+            Operand::FuncAddr(f) => (FUNC_BASE + f.0 as u64, 0),
+        }
+    }
+
+    fn write_reg(&mut self, tid: usize, v: ValueId, val: u64, ready: u64, ty: Ty) {
+        let masked = val & ty.mask();
+        let frame = self.threads[tid].frames.last_mut().expect("live frame");
+        frame.regs[v.0 as usize] = masked;
+        frame.ready[v.0 as usize] = ready;
+        // Fault-injection hook: this is the paper's "register-writing
+        // instruction" stream.
+        self.occ += 1;
+        if let Some(plan) = self.fault {
+            if self.occ - 1 == plan.occurrence {
+                let frame = self.threads[tid].frames.last_mut().expect("live frame");
+                frame.regs[v.0 as usize] ^= plan.effective_mask(ty);
+                self.fault = None;
+            }
+        }
+    }
+
+    // --- transaction runtime -------------------------------------------------
+
+    fn tx_begin(&mut self, tid: usize, at: u64) {
+        if self.threads[tid].in_tx() {
+            self.threads[tid].tx_depth += 1;
+            return;
+        }
+        let clock = at;
+        self.htm.begin(tid, clock);
+        let t = &mut self.threads[tid];
+        t.tx_depth = 1;
+        t.retries = 0;
+        t.fallback = false;
+        t.counter = 0;
+        t.tx_start_clock = clock;
+        t.last_poll_clock = clock;
+        t.snapshot = Some(TxSnapshot { frames: t.frames.clone(), counter: 0 });
+    }
+
+    fn tx_commit(&mut self, tid: usize) -> Result<(), AbortCause> {
+        if let Some(cause) = self.htm.doomed(tid) {
+            return Err(cause);
+        }
+        // Flush the speculative write buffer.
+        let overlay = std::mem::take(&mut self.threads[tid].overlay);
+        for (addr, byte) in overlay {
+            // Bounds were checked when buffering.
+            let _ = self.mem.store_byte(addr, byte);
+        }
+        self.htm.commit(tid);
+        let max_threshold = self.cfg.tx_threshold;
+        let adaptive = self.cfg.adaptive_threshold;
+        let t = &mut self.threads[tid];
+        t.tx_depth = 0;
+        t.snapshot = None;
+        t.elided.clear();
+        t.retries = 0;
+        if adaptive {
+            // Additive-ish recovery toward the configured maximum.
+            t.threshold = (t.threshold + t.threshold / 8 + 1).min(max_threshold);
+        }
+        self.htm.stats.tx_cycles += t.sb.clock.saturating_sub(t.tx_start_clock);
+        Ok(())
+    }
+
+    /// Rolls back after an abort; decides between retry and fallback.
+    fn tx_abort(&mut self, tid: usize, cause: AbortCause) {
+        self.htm.abort(tid, cause);
+        let penalty = self.cfg.cost.abort_penalty;
+        let adaptive = self.cfg.adaptive_threshold;
+        let t = &mut self.threads[tid];
+        if adaptive && cause != AbortCause::IlrDetected {
+            // Multiplicative back-off: shorter transactions shrink both
+            // the conflict window and the wasted work per abort.
+            t.threshold = (t.threshold / 2).max(250);
+        }
+        self.htm.stats.tx_cycles += t.sb.clock.saturating_sub(t.tx_start_clock);
+        let snap = t.snapshot.as_ref().expect("abort without snapshot");
+        t.frames = snap.frames.clone();
+        t.counter = snap.counter;
+        t.overlay.clear();
+        t.elided.clear();
+        t.tx_depth = 0;
+        let resume = t.sb.clock + penalty;
+        t.sb.flush_to(resume);
+        t.retries += 1;
+        if t.retries <= self.cfg.max_retries {
+            // Retry transactionally from the snapshot point.
+            let clock = t.sb.clock;
+            t.tx_depth = 1;
+            t.tx_start_clock = clock;
+            t.last_poll_clock = clock;
+            self.htm.begin(tid, clock);
+        } else {
+            // Fall back to non-transactional execution until the next
+            // begin (paper §3: best-effort recovery).
+            t.snapshot = None;
+            t.fallback = true;
+            self.htm.note_fallback();
+        }
+    }
+
+    /// Handles `tx_abort` IR instructions (ILR detections).
+    fn ilr_detect(&mut self, tid: usize) -> Flow {
+        self.detections += 1;
+        if self.threads[tid].in_tx() {
+            self.recoveries += 1;
+            self.tx_abort(tid, AbortCause::IlrDetected);
+            Flow::Continue
+        } else {
+            // Fail-stop: the paper's ILR-detected outcome.
+            Flow::Stop(RunOutcome::Detected)
+        }
+    }
+
+    /// Handles a trap raised while transactional (a synchronous exception
+    /// aborts the transaction like any interrupt) or not (OS-detected).
+    fn trap(&mut self, tid: usize, trap: Trap) -> Flow {
+        if self.threads[tid].in_tx() {
+            self.tx_abort(tid, AbortCause::Unfriendly);
+            Flow::Continue
+        } else {
+            Flow::Stop(RunOutcome::Trapped(trap))
+        }
+    }
+
+    // --- memory dependency tracking -----------------------------------------------
+
+    /// Ready time contributed by earlier stores covering `[addr, addr+len)`.
+    fn mem_ready(&self, tid: usize, addr: u64, len: u32) -> u64 {
+        let t = &self.threads[tid];
+        let mut ready = 0;
+        for cell in (addr >> 3)..=((addr + len as u64 - 1) >> 3) {
+            if let Some(d) = t.store_done.get(&cell) {
+                ready = ready.max(*d);
+            }
+        }
+        ready
+    }
+
+    /// Records a store completing at `done` over `[addr, addr+len)`.
+    fn note_store(&mut self, tid: usize, addr: u64, len: u32, done: u64) {
+        let t = &mut self.threads[tid];
+        for cell in (addr >> 3)..=((addr + len as u64 - 1) >> 3) {
+            t.store_done.insert(cell, done);
+        }
+    }
+
+    // --- transactional memory data path ----------------------------------------
+
+    fn mem_load(&mut self, tid: usize, addr: u64, len: u32) -> Result<u64, Trap> {
+        if self.threads[tid].in_tx() && !self.threads[tid].overlay.is_empty() {
+            // Byte-wise read-through of the speculative buffer.
+            self.mem.load(addr, len)?; // Bounds check.
+            let mut v = 0u64;
+            for i in (0..len as usize).rev() {
+                let a = addr + i as u64;
+                let b = match self.threads[tid].overlay.get(&a) {
+                    Some(b) => *b,
+                    None => self.mem.byte(a),
+                };
+                v = (v << 8) | b as u64;
+            }
+            Ok(v)
+        } else {
+            self.mem.load(addr, len)
+        }
+    }
+
+    fn mem_store(&mut self, tid: usize, addr: u64, len: u32, val: u64) -> Result<(), Trap> {
+        if self.threads[tid].in_tx() {
+            // Buffer speculatively; bounds-check now so wild stores trap
+            // (and thus abort) immediately.
+            self.mem.load(addr, len)?;
+            for i in 0..len as usize {
+                self.threads[tid].overlay.insert(addr + i as u64, (val >> (8 * i)) as u8);
+            }
+            Ok(())
+        } else {
+            self.mem.store(addr, len, val)
+        }
+    }
+
+    // --- the interpreter --------------------------------------------------------
+
+    /// Executes one instruction of thread `tid`.
+    fn step(&mut self, tid: usize) -> Flow {
+        // Deliver pending asynchronous aborts first.
+        if self.threads[tid].in_tx() {
+            if let Some(cause) = self.htm.doomed(tid) {
+                self.tx_abort(tid, cause);
+                return Flow::Continue;
+            }
+        }
+
+        let frame = self.threads[tid].frames.last().expect("live frame");
+        let fid = frame.func;
+        let f = self.m.func(fid);
+        let bid = frame.block;
+        let idx = frame.idx;
+        let block = &f.blocks[bid.0 as usize];
+        debug_assert!(idx < block.insts.len(), "fell off block without terminator");
+        let iid = block.insts[idx];
+        let inst = f.inst(iid).clone();
+        let result = f.inst_result(iid);
+
+        // Pre-advance the pc; control flow overwrites it.
+        self.threads[tid].frames.last_mut().expect("live frame").idx += 1;
+        self.instructions += 1;
+
+        let width = self.cfg.cost.width;
+        let flow = match &inst.op {
+            // --- compute -----------------------------------------------------
+            Op::Bin { op, ty, a, b } => {
+                let (av, ar) = self.operand(tid, a);
+                let (bv, br) = self.operand(tid, b);
+                let lat = self.cfg.cost.compute_latency(&inst.op);
+                match eval_bin(*op, *ty, av, bv) {
+                    Ok(v) => {
+                        let done = self.threads[tid].sb.issue(width, ar.max(br), lat);
+                        self.write_reg(tid, result.unwrap(), v, done, *ty);
+                        Flow::Continue
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+            Op::Un { op, ty, a } => {
+                let (av, ar) = self.operand(tid, a);
+                let lat = self.cfg.cost.compute_latency(&inst.op);
+                let v = eval_un(*op, *ty, av);
+                let done = self.threads[tid].sb.issue(width, ar, lat);
+                self.write_reg(tid, result.unwrap(), v, done, *ty);
+                Flow::Continue
+            }
+            Op::Cmp { op, ty, a, b } => {
+                let (av, ar) = self.operand(tid, a);
+                let (bv, br) = self.operand(tid, b);
+                let v = eval_cmp(*op, *ty, av, bv) as u64;
+                let done = self.threads[tid].sb.issue(width, ar.max(br), self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), v, done, Ty::I1);
+                Flow::Continue
+            }
+            Op::Move { ty, a } => {
+                let (av, ar) = self.operand(tid, a);
+                let done = self.threads[tid].sb.issue(width, ar, self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), av, done, *ty);
+                Flow::Continue
+            }
+            Op::Cast { kind, to, a } => {
+                let (av, ar) = self.operand(tid, a);
+                let from = f.operand_ty(a);
+                let v = eval_cast(*kind, from, *to, av);
+                let done = self.threads[tid].sb.issue(width, ar, self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), v, done, *to);
+                Flow::Continue
+            }
+            Op::Select { ty, c, t, f: fv } => {
+                let (cv, cr) = self.operand(tid, c);
+                let (tv, tr) = self.operand(tid, t);
+                let (fvv, fr) = self.operand(tid, fv);
+                let v = if cv & 1 != 0 { tv } else { fvv };
+                let ready = cr.max(tr).max(fr);
+                let done = self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), v, done, *ty);
+                Flow::Continue
+            }
+            Op::Gep { base, index, scale, offset } => {
+                let (bv, br) = self.operand(tid, base);
+                let (iv, ir) = self.operand(tid, index);
+                let v = bv
+                    .wrapping_add((iv as i64).wrapping_mul(*scale as i64) as u64)
+                    .wrapping_add(*offset as u64);
+                let done = self.threads[tid].sb.issue(width, br.max(ir), self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), v, done, Ty::Ptr);
+                Flow::Continue
+            }
+            Op::Phi { .. } => {
+                // Phis are evaluated on the incoming edge; reaching one via
+                // straight-line execution means the entry block has phis.
+                self.trap(tid, Trap::MalformedIr)
+            }
+
+            // --- memory -----------------------------------------------------
+            Op::Load { ty, addr, atomic } => {
+                let (av, ar) = self.operand(tid, addr);
+                let hit =
+                    self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Read);
+                match self.mem_load(tid, av, ty.size_bytes()) {
+                    Ok(v) => {
+                        let lat = if *atomic {
+                            self.cfg.cost.lat_atomic
+                        } else if hit {
+                            self.cfg.cost.lat_load_hit
+                        } else {
+                            self.cfg.cost.lat_load_miss
+                        };
+                        let dep = self.mem_ready(tid, av, ty.size_bytes());
+                        let done = self.threads[tid].sb.issue(width, ar.max(dep), lat);
+                        self.write_reg(tid, result.unwrap(), v, done, *ty);
+                        Flow::Continue
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+            Op::Store { ty, val, addr, atomic } => {
+                let (vv, vr) = self.operand(tid, val);
+                let (av, ar) = self.operand(tid, addr);
+                self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Write);
+                match self.mem_store(tid, av, ty.size_bytes(), vv) {
+                    Ok(()) => {
+                        let lat = if *atomic {
+                            self.cfg.cost.lat_atomic
+                        } else {
+                            self.cfg.cost.lat_store
+                        };
+                        let done = self.threads[tid].sb.issue(width, vr.max(ar), lat);
+                        self.note_store(tid, av, ty.size_bytes(), done);
+                        Flow::Continue
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+            Op::Rmw { op, ty, addr, val } => {
+                let (av, ar) = self.operand(tid, addr);
+                let (vv, vr) = self.operand(tid, val);
+                self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Write);
+                match self.mem_load(tid, av, ty.size_bytes()) {
+                    Ok(old) => {
+                        let new = match op {
+                            RmwOp::Add => old.wrapping_add(vv),
+                            RmwOp::Xchg => vv,
+                        };
+                        match self.mem_store(tid, av, ty.size_bytes(), new) {
+                            Ok(()) => {
+                                let dep = self.mem_ready(tid, av, ty.size_bytes());
+                                let done = self.threads[tid].sb.issue(
+                                    width,
+                                    ar.max(vr).max(dep),
+                                    self.cfg.cost.lat_atomic,
+                                );
+                                self.note_store(tid, av, ty.size_bytes(), done);
+                                self.write_reg(tid, result.unwrap(), old, done, *ty);
+                                Flow::Continue
+                            }
+                            Err(t) => self.trap(tid, t),
+                        }
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+            Op::CmpXchg { ty, addr, expected, new } => {
+                let (av, ar) = self.operand(tid, addr);
+                let (ev, er) = self.operand(tid, expected);
+                let (nv, nr) = self.operand(tid, new);
+                self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Write);
+                match self.mem_load(tid, av, ty.size_bytes()) {
+                    Ok(old) => {
+                        let res = if old == ev {
+                            self.mem_store(tid, av, ty.size_bytes(), nv)
+                        } else {
+                            Ok(())
+                        };
+                        match res {
+                            Ok(()) => {
+                                let dep = self.mem_ready(tid, av, ty.size_bytes());
+                                let ready = ar.max(er).max(nr).max(dep);
+                                let done = self
+                                    .threads[tid]
+                                    .sb
+                                    .issue(width, ready, self.cfg.cost.lat_atomic);
+                                self.note_store(tid, av, ty.size_bytes(), done);
+                                self.write_reg(tid, result.unwrap(), old, done, *ty);
+                                Flow::Continue
+                            }
+                            Err(t) => self.trap(tid, t),
+                        }
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+            Op::Alloc { size } => {
+                let (sv, sr) = self.operand(tid, size);
+                match self.mem.alloc(sv) {
+                    Ok(base) => {
+                        let done = self.threads[tid].sb.issue(width, sr, self.cfg.cost.lat_alloc);
+                        self.write_reg(tid, result.unwrap(), base, done, Ty::Ptr);
+                        Flow::Continue
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            }
+
+            // --- control ----------------------------------------------------
+            Op::Br { dest } => {
+                self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_branch);
+                self.take_edge(tid, fid, bid, *dest);
+                Flow::Continue
+            }
+            Op::CondBr { cond, t, f: fb } => {
+                let (cv, cr) = self.operand(tid, cond);
+                let taken = cv & 1 != 0;
+                let done = self.threads[tid].sb.issue(width, cr, self.cfg.cost.lat_branch);
+                // 1-bit predictor keyed by instruction identity.
+                let key = ((fid.0 as u64) << 32) | iid.0 as u64;
+                let predicted = self.threads[tid].bp.insert(key, taken);
+                if predicted != Some(taken) && predicted.is_some() {
+                    self.mispredicts += 1;
+                    let resume = done + self.cfg.cost.mispredict_penalty;
+                    self.threads[tid].sb.flush_to(resume);
+                }
+                let dest = if taken { *t } else { *fb };
+                self.take_edge(tid, fid, bid, dest);
+                Flow::Continue
+            }
+            Op::Call { callee, args, ret_ty: _ } => {
+                let target = match callee {
+                    Callee::Direct(fid) => Some(*fid),
+                    Callee::Indirect(o) => {
+                        let (v, _) = self.operand(tid, o);
+                        let idx = v.wrapping_sub(FUNC_BASE);
+                        if v >= FUNC_BASE && (idx as usize) < self.m.funcs.len() {
+                            Some(FuncId(idx as u32))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                let Some(target) = target else {
+                    let v = match callee {
+                        Callee::Indirect(o) => self.operand(tid, o).0,
+                        Callee::Direct(_) => unreachable!("direct callee always resolves"),
+                    };
+                    return self.trap(tid, Trap::BadIndirectCall { target: v });
+                };
+                if self.threads[tid].frames.len() >= MAX_CALL_DEPTH {
+                    return self.trap(tid, Trap::StackOverflow);
+                }
+                let callee_f = self.m.func(target);
+                if callee_f.params.len() != args.len() {
+                    return self.trap(tid, Trap::MalformedIr);
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                let mut ready = 0;
+                for a in args {
+                    let (v, r) = self.operand(tid, a);
+                    vals.push(v);
+                    ready = ready.max(r);
+                }
+                self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_call);
+                let new_frame = self.make_frame(target, &vals, result);
+                self.threads[tid].frames.push(new_frame);
+                Flow::Continue
+            }
+            Op::Ret { val } => {
+                let rv = val.as_ref().map(|v| self.operand(tid, v));
+                let done = self.threads[tid].sb.issue(
+                    width,
+                    rv.map(|(_, r)| r).unwrap_or(0),
+                    self.cfg.cost.lat_call,
+                );
+                let frame = self.threads[tid].frames.pop().expect("live frame");
+                if self.threads[tid].frames.is_empty() {
+                    return Flow::ThreadDone;
+                }
+                if let (Some(dst), Some((v, _))) = (frame.return_to, rv) {
+                    let ty = self.m.func(frame.func).ret_ty.unwrap_or(Ty::I64);
+                    self.write_reg(tid, dst, v, done, ty);
+                }
+                Flow::Continue
+            }
+
+            // --- HAFT runtime intrinsics -----------------------------------------
+            Op::TxBegin => {
+                // XBEGIN drains the pipeline: the checkpoint covers all
+                // earlier work, and speculation starts after it.
+                let done = self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_tx_begin);
+                self.tx_begin(tid, done);
+                Flow::Continue
+            }
+            Op::TxEnd => {
+                if self.threads[tid].tx_depth > 1 {
+                    self.threads[tid].tx_depth -= 1;
+                    self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_int);
+                    Flow::Continue
+                } else if self.threads[tid].in_tx() {
+                    self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_tx_end);
+                    match self.tx_commit(tid) {
+                        Ok(()) => Flow::Continue,
+                        Err(cause) => {
+                            self.tx_abort(tid, cause);
+                            Flow::Continue
+                        }
+                    }
+                } else {
+                    // Fallback mode: nothing to commit.
+                    self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_int);
+                    Flow::Continue
+                }
+            }
+            Op::TxCondSplit => {
+                self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_tx_split_check);
+                // A split must not commit while a lock is elided: the
+                // critical section would lose its atomicity (and the
+                // matching unlock its elision record). Defer until the
+                // elision stack drains.
+                if self.threads[tid].counter >= self.threads[tid].threshold
+                    && self.threads[tid].elided.is_empty()
+                {
+                    if self.threads[tid].in_tx() {
+                        self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_tx_end);
+                        match self.tx_commit(tid) {
+                            Ok(()) => {
+                                let begin = self
+                                    .threads[tid]
+                                    .sb
+                                    .issue_serial(width, self.cfg.cost.lat_tx_begin);
+                                self.tx_begin(tid, begin);
+                            }
+                            Err(cause) => self.tx_abort(tid, cause),
+                        }
+                    } else {
+                        // Re-enter transactional mode after a fallback.
+                        let begin = self
+                            .threads[tid]
+                            .sb
+                            .issue_serial(width, self.cfg.cost.lat_tx_begin);
+                        self.tx_begin(tid, begin);
+                    }
+                }
+                Flow::Continue
+            }
+            Op::TxCounterInc { amount } => {
+                let t = &mut self.threads[tid];
+                t.counter += *amount as u64;
+                t.sb.issue(width, 0, self.cfg.cost.lat_counter_inc);
+                Flow::Continue
+            }
+            Op::TxAbort { code } => match code {
+                AbortCode::IlrDetected => self.ilr_detect(tid),
+                AbortCode::Explicit => {
+                    if self.threads[tid].in_tx() {
+                        self.tx_abort(tid, AbortCause::Explicit);
+                        Flow::Continue
+                    } else {
+                        Flow::Stop(RunOutcome::Detected)
+                    }
+                }
+            },
+            Op::Lock { addr } => {
+                let (av, ar) = self.operand(tid, addr);
+                self.exec_lock(tid, av, ar)
+            }
+            Op::Unlock { addr } => {
+                let (av, ar) = self.operand(tid, addr);
+                self.exec_unlock(tid, av, ar)
+            }
+            Op::Emit { ty: _, val } => {
+                if self.threads[tid].in_tx() {
+                    // Externalization cannot happen speculatively: abort
+                    // first (TSX: unfriendly instruction), and emit only
+                    // once we are executing non-transactionally.
+                    self.tx_abort(tid, AbortCause::Unfriendly);
+                    Flow::Continue
+                } else {
+                    let (v, _) = self.operand(tid, val);
+                    self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_emit);
+                    self.threads[tid].emitted.push(v);
+                    Flow::Continue
+                }
+            }
+            Op::ThreadId => {
+                let done = self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_int);
+                self.write_reg(tid, result.unwrap(), tid as u64, done, Ty::I64);
+                Flow::Continue
+            }
+            Op::NumThreads => {
+                let done = self.threads[tid].sb.issue(width, 0, self.cfg.cost.lat_int);
+                self.write_reg(
+                    tid,
+                    result.unwrap(),
+                    self.cfg.n_threads.max(1) as u64,
+                    done,
+                    Ty::I64,
+                );
+                Flow::Continue
+            }
+            Op::Nop => Flow::Continue,
+        };
+
+        // A blocked lock acquisition must be retried: rewind the pc and
+        // undo the instruction count.
+        if let Flow::Blocked(_) = flow {
+            let frame = self.threads[tid].frames.last_mut().expect("live frame");
+            frame.idx -= 1;
+            self.instructions -= 1;
+        }
+
+        // Time-based asynchronous aborts.
+        if self.threads[tid].in_tx() {
+            let now = self.threads[tid].sb.clock;
+            let last = self.threads[tid].last_poll_clock;
+            if now > last + 256 {
+                self.htm.poll_async(tid, now, now - last, &mut self.rng);
+                self.threads[tid].last_poll_clock = now;
+            }
+        }
+        flow
+    }
+
+    /// Takes a CFG edge: evaluates the target's phis and repositions the pc.
+    fn take_edge(&mut self, tid: usize, fid: FuncId, from: BlockId, to: BlockId) {
+        let f = self.m.func(fid);
+        let block = &f.blocks[to.0 as usize];
+        // Gather phi updates (parallel semantics: read all, then write).
+        let mut updates: Vec<(ValueId, u64, u64, Ty)> = Vec::new();
+        let mut n_phis = 0;
+        for &iid in &block.insts {
+            let inst = f.inst(iid);
+            if let Op::Phi { ty, incomings } = &inst.op {
+                n_phis += 1;
+                if let Some((val, _)) = incomings.iter().find(|(_, b)| *b == from) {
+                    let (v, r) = self.operand(tid, val);
+                    let dst = f.inst_result(iid).expect("phi has result");
+                    updates.push((dst, v, r, *ty));
+                }
+            } else {
+                break;
+            }
+        }
+        for (dst, v, r, ty) in updates {
+            self.write_reg(tid, dst, v, r, ty);
+        }
+        let frame = self.threads[tid].frames.last_mut().expect("live frame");
+        frame.block = to;
+        frame.idx = n_phis;
+    }
+
+    fn exec_lock(&mut self, tid: usize, addr: u64, ready: u64) -> Flow {
+        let width = self.cfg.cost.width;
+        if self.threads[tid].in_tx() {
+            if self.cfg.lock_elision {
+                // Elide: read the lock word into the read set; any real
+                // acquisition by another thread will conflict-abort us.
+                self.htm.access(tid, addr, 8, AccessKind::Read);
+                match self.mem_load(tid, addr, 8) {
+                    Ok(0) => {
+                        self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_load_hit);
+                        self.threads[tid].elided.push(addr);
+                        Flow::Continue
+                    }
+                    Ok(_) => {
+                        // Lock currently held: cannot elide safely.
+                        self.tx_abort(tid, AbortCause::Explicit);
+                        Flow::Continue
+                    }
+                    Err(t) => self.trap(tid, t),
+                }
+            } else {
+                // A blocking lock inside a transaction cannot succeed
+                // (the write would conflict with the owner): abort.
+                self.tx_abort(tid, AbortCause::Unfriendly);
+                Flow::Continue
+            }
+        } else {
+            match self.mem.load(addr, 8) {
+                Ok(0) => {
+                    self.htm.access(tid, addr, 8, AccessKind::Write);
+                    if self.mem.store(addr, 8, tid as u64 + 1).is_err() {
+                        return self.trap(tid, Trap::OutOfBounds { addr, len: 8 });
+                    }
+                    // Serialization: we cannot hold the lock before its
+                    // previous owner released it (cross-thread clock sync).
+                    let release = self.lock_release_clock.get(&addr).copied().unwrap_or(0);
+                    let t = &mut self.threads[tid];
+                    t.sb.flush_to(release);
+                    t.sb.issue_serial(width, self.cfg.cost.lat_lock);
+                    Flow::Continue
+                }
+                Ok(_) => Flow::Blocked(addr),
+                Err(t) => self.trap(tid, t),
+            }
+        }
+    }
+
+    fn exec_unlock(&mut self, tid: usize, addr: u64, ready: u64) -> Flow {
+        let width = self.cfg.cost.width;
+        if self.threads[tid].elided.last() == Some(&addr) {
+            self.threads[tid].elided.pop();
+            self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_int);
+            return Flow::Continue;
+        }
+        if self.threads[tid].in_tx() {
+            // Unlock of a non-elided lock inside a transaction: unfriendly.
+            self.tx_abort(tid, AbortCause::Unfriendly);
+            return Flow::Continue;
+        }
+        self.htm.access(tid, addr, 8, AccessKind::Write);
+        let _ = ready;
+        match self.mem.store(addr, 8, 0) {
+            Ok(()) => {
+                let done = self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_unlock);
+                self.lock_release_clock.insert(addr, done);
+                Flow::Continue
+            }
+            Err(t) => self.trap(tid, t),
+        }
+    }
+}
+
+// --- pure evaluation helpers ---------------------------------------------------
+
+fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Trap> {
+    use BinOp::*;
+    if op.is_float() {
+        let x = f64::from_bits(a);
+        let y = f64::from_bits(b);
+        let r = match op {
+            FAdd => x + y,
+            FSub => x - y,
+            FMul => x * y,
+            FDiv => x / y,
+            _ => unreachable!(),
+        };
+        return Ok(r.to_bits());
+    }
+    let sa = ty.sext(a);
+    let sb = ty.sext(b);
+    let ua = a & ty.mask();
+    let ub = b & ty.mask();
+    let v = match op {
+        Add => ua.wrapping_add(ub),
+        Sub => ua.wrapping_sub(ub),
+        Mul => ua.wrapping_mul(ub),
+        SDiv => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_div(sb) as u64
+        }
+        UDiv => {
+            if ub == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ua / ub
+        }
+        SRem => {
+            if sb == 0 {
+                return Err(Trap::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        URem => {
+            if ub == 0 {
+                return Err(Trap::DivByZero);
+            }
+            ua % ub
+        }
+        And => ua & ub,
+        Or => ua | ub,
+        Xor => ua ^ ub,
+        Shl => ua.wrapping_shl((ub % ty.bits() as u64) as u32),
+        LShr => ua.wrapping_shr((ub % ty.bits() as u64) as u32),
+        AShr => (sa >> (ub % ty.bits() as u64)) as u64,
+        FAdd | FSub | FMul | FDiv => unreachable!(),
+    };
+    Ok(v & ty.mask())
+}
+
+fn eval_un(op: UnOp, ty: Ty, a: u64) -> u64 {
+    match op {
+        UnOp::Neg => (ty.sext(a).wrapping_neg() as u64) & ty.mask(),
+        UnOp::Not => !a & ty.mask(),
+        UnOp::FNeg => (-f64::from_bits(a)).to_bits(),
+        UnOp::FSqrt => f64::from_bits(a).sqrt().to_bits(),
+        UnOp::FExp => f64::from_bits(a).exp().to_bits(),
+        UnOp::FLn => f64::from_bits(a).ln().to_bits(),
+        UnOp::FAbs => f64::from_bits(a).abs().to_bits(),
+    }
+}
+
+fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
+    use CmpOp::*;
+    match op {
+        Eq => (a & ty.mask()) == (b & ty.mask()),
+        Ne => (a & ty.mask()) != (b & ty.mask()),
+        SLt => ty.sext(a) < ty.sext(b),
+        SLe => ty.sext(a) <= ty.sext(b),
+        SGt => ty.sext(a) > ty.sext(b),
+        SGe => ty.sext(a) >= ty.sext(b),
+        ULt => (a & ty.mask()) < (b & ty.mask()),
+        ULe => (a & ty.mask()) <= (b & ty.mask()),
+        UGt => (a & ty.mask()) > (b & ty.mask()),
+        UGe => (a & ty.mask()) >= (b & ty.mask()),
+        FLt => f64::from_bits(a) < f64::from_bits(b),
+        FLe => f64::from_bits(a) <= f64::from_bits(b),
+        FGt => f64::from_bits(a) > f64::from_bits(b),
+        FGe => f64::from_bits(a) >= f64::from_bits(b),
+        FEq => f64::from_bits(a) == f64::from_bits(b),
+        FNe => f64::from_bits(a) != f64::from_bits(b),
+    }
+}
+
+fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
+    match kind {
+        CastKind::ZExt => (a & from.mask()) & to.mask(),
+        CastKind::SExt => (from.sext(a) as u64) & to.mask(),
+        CastKind::Trunc => a & to.mask(),
+        CastKind::SiToFp => (from.sext(a) as f64).to_bits(),
+        CastKind::FpToSi => {
+            let f = f64::from_bits(a);
+            let i = if f.is_nan() {
+                0
+            } else {
+                f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+            };
+            (i as u64) & to.mask()
+        }
+        CastKind::Bitcast => a & to.mask(),
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,592 @@
+//! VM unit tests: interpreter semantics, HAFT runtime, cost model.
+
+use haft_ir::builder::FunctionBuilder;
+use haft_ir::inst::{BinOp, CmpOp, Op, Operand, RmwOp};
+use haft_ir::module::{GlobalId, Module};
+use haft_ir::types::Ty;
+use haft_ir::verify::verify_module;
+
+use super::*;
+
+fn run(m: &Module, cfg: VmConfig, spec: RunSpec<'_>) -> RunResult {
+    verify_module(m).expect("test module verifies");
+    Vm::run(m, cfg, spec)
+}
+
+fn run_fini(m: &Module) -> RunResult {
+    run(m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() })
+}
+
+/// Builds a module with a single no-arg `fini` function.
+fn fini_module(build: impl FnOnce(&mut FunctionBuilder)) -> Module {
+    let mut m = Module::new("t");
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    build(&mut fb);
+    m.push_func(fb.finish());
+    m
+}
+
+#[test]
+fn arithmetic_and_emit() {
+    let m = fini_module(|fb| {
+        let a = fb.add(Ty::I64, fb.iconst(Ty::I64, 40), fb.iconst(Ty::I64, 2));
+        let b = fb.mul(Ty::I64, a, fb.iconst(Ty::I64, 10));
+        let c = fb.bin(BinOp::Sub, Ty::I64, b, fb.iconst(Ty::I64, 20));
+        fb.emit_out(Ty::I64, c);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![400]);
+    assert!(r.instructions > 0 && r.wall_cycles > 0);
+}
+
+#[test]
+fn signed_ops_on_narrow_types() {
+    let m = fini_module(|fb| {
+        // -1 as i8 is 0xff; ashr keeps the sign.
+        let neg = fb.bin(BinOp::Sub, Ty::I8, fb.iconst(Ty::I8, 0), fb.iconst(Ty::I8, 1));
+        let shifted = fb.bin(BinOp::AShr, Ty::I8, neg, fb.iconst(Ty::I8, 3));
+        let wide = fb.cast(CastKind::SExt, Ty::I64, shifted);
+        fb.emit_out(Ty::I64, wide);
+        // sdiv rounds toward zero: -7 / 2 = -3.
+        let a = fb.iconst(Ty::I64, -7);
+        let q = fb.bin(BinOp::SDiv, Ty::I64, a, fb.iconst(Ty::I64, 2));
+        fb.emit_out(Ty::I64, q);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.output, vec![(-1i64) as u64, (-3i64) as u64]);
+}
+
+#[test]
+fn float_math() {
+    let m = fini_module(|fb| {
+        let x = fb.bin(BinOp::FMul, Ty::F64, fb.fconst(1.5), fb.fconst(4.0));
+        let y = fb.un(haft_ir::inst::UnOp::FSqrt, Ty::F64, fb.fconst(81.0));
+        let z = fb.bin(BinOp::FAdd, Ty::F64, x, y);
+        let out = fb.cast(CastKind::FpToSi, Ty::I64, z);
+        fb.emit_out(Ty::I64, out);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.output, vec![15]); // 6 + 9.
+}
+
+#[test]
+fn loop_sum_via_global() {
+    let mut m = Module::new("t");
+    m.add_global("acc", 8);
+    let g = Operand::GlobalAddr(GlobalId(0));
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    fb.counted_loop(fb.iconst(Ty::I64, 0), fb.iconst(Ty::I64, 100), |b, i| {
+        let cur = b.load(Ty::I64, g);
+        let nxt = b.add(Ty::I64, cur, i);
+        b.store(Ty::I64, nxt, g);
+    });
+    let total = fb.load(Ty::I64, g);
+    fb.emit_out(Ty::I64, total);
+    fb.ret(None);
+    m.push_func(fb.finish());
+    let r = run_fini(&m);
+    assert_eq!(r.output, vec![4950]);
+}
+
+#[test]
+fn calls_and_recursion() {
+    let mut m = Module::new("t");
+    // fact(n) = n <= 1 ? 1 : n * fact(n - 1).
+    let mut fb = FunctionBuilder::new("fact", &[Ty::I64], Some(Ty::I64));
+    let n = fb.param(0);
+    let is_base = fb.cmp(CmpOp::SLe, Ty::I64, n, fb.iconst(Ty::I64, 1));
+    let rec_blk = fb.new_block();
+    let base_blk = fb.new_block();
+    fb.condbr(is_base, base_blk, rec_blk);
+    fb.switch_to(base_blk);
+    fb.ret(Some(fb.iconst(Ty::I64, 1)));
+    fb.switch_to(rec_blk);
+    let nm1 = fb.sub(Ty::I64, n, fb.iconst(Ty::I64, 1));
+    let sub = fb.call(haft_ir::module::FuncId(0), &[nm1.into()], Some(Ty::I64)).unwrap();
+    let prod = fb.mul(Ty::I64, n, sub);
+    fb.ret(Some(prod.into()));
+    m.push_func(fb.finish());
+
+    let mut main = FunctionBuilder::new("fini", &[], None);
+    main.set_non_local();
+    let v = main.call(haft_ir::module::FuncId(0), &[Operand::imm(10, Ty::I64)], Some(Ty::I64));
+    main.emit_out(Ty::I64, v.unwrap());
+    main.ret(None);
+    m.push_func(main.finish());
+    let r = run_fini(&m);
+    assert_eq!(r.output, vec![3628800]);
+}
+
+#[test]
+fn indirect_calls_resolve_function_addresses() {
+    let mut m = Module::new("t");
+    let mut sq = FunctionBuilder::new("sq", &[Ty::I64], Some(Ty::I64));
+    let x = sq.param(0);
+    let v = sq.mul(Ty::I64, x, x);
+    sq.ret(Some(v.into()));
+    let sq_id = m.push_func(sq.finish());
+
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let fp = fb.mov(Ty::Ptr, Operand::FuncAddr(sq_id));
+    let r = fb.call_indirect(fp, &[Operand::imm(9, Ty::I64)], Some(Ty::I64)).unwrap();
+    fb.emit_out(Ty::I64, r);
+    fb.ret(None);
+    m.push_func(fb.finish());
+    let r = run_fini(&m);
+    assert_eq!(r.output, vec![81]);
+}
+
+#[test]
+fn bad_indirect_call_traps() {
+    let m = fini_module(|fb| {
+        let junk = fb.mov(Ty::Ptr, fb.iconst(Ty::Ptr, 12345));
+        fb.call_indirect(junk, &[], None);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert!(matches!(r.outcome, RunOutcome::Trapped(Trap::BadIndirectCall { .. })));
+}
+
+#[test]
+fn out_of_bounds_traps() {
+    let m = fini_module(|fb| {
+        fb.load(Ty::I64, fb.iconst(Ty::Ptr, 0));
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert!(matches!(r.outcome, RunOutcome::Trapped(Trap::OutOfBounds { .. })));
+}
+
+#[test]
+fn div_by_zero_traps() {
+    let m = fini_module(|fb| {
+        let z = fb.mov(Ty::I64, fb.iconst(Ty::I64, 0));
+        fb.bin(BinOp::SDiv, Ty::I64, fb.iconst(Ty::I64, 7), z);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.outcome, RunOutcome::Trapped(Trap::DivByZero));
+}
+
+#[test]
+fn infinite_loop_hangs() {
+    let m = fini_module(|fb| {
+        let l = fb.new_block();
+        fb.br(l);
+        fb.switch_to(l);
+        fb.br(l);
+    });
+    let cfg = VmConfig { max_instructions: 10_000, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Hang);
+}
+
+#[test]
+fn parallel_workers_partition_work() {
+    let mut m = Module::new("t");
+    m.add_global("cells", 16 * 8);
+    let g = Operand::GlobalAddr(GlobalId(0));
+    // worker(tid, n): cells[tid] = tid * 100.
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let cell = w.gep(g, tid, 8, 0);
+    let val = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 100));
+    w.store(Ty::I64, val, cell);
+    w.ret(None);
+    m.push_func(w.finish());
+    // fini: emit sum of cells.
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let n = fb.num_threads();
+    let acc = fb.alloc(fb.iconst(Ty::I64, 8));
+    fb.store(Ty::I64, fb.iconst(Ty::I64, 0), acc);
+    fb.counted_loop(fb.iconst(Ty::I64, 0), n, |b, i| {
+        let cell = b.gep(g, i, 8, 0);
+        let v = b.load(Ty::I64, cell);
+        let cur = b.load(Ty::I64, acc);
+        let nxt = b.add(Ty::I64, cur, v);
+        b.store(Ty::I64, nxt, acc);
+    });
+    let total = fb.load(Ty::I64, acc);
+    fb.emit_out(Ty::I64, total);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let cfg = VmConfig { n_threads: 4, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![600]); // 0+100+200+300.
+}
+
+#[test]
+fn locks_serialize_shared_counter() {
+    let mut m = Module::new("t");
+    m.add_global("lock", 8);
+    m.add_global("counter", 8);
+    let lock = Operand::GlobalAddr(GlobalId(0));
+    let ctr = Operand::GlobalAddr(GlobalId(1));
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 50), |b, _| {
+        b.lock(lock);
+        let v = b.load(Ty::I64, ctr);
+        let nv = b.add(Ty::I64, v, b.iconst(Ty::I64, 1));
+        b.store(Ty::I64, nv, ctr);
+        b.unlock(lock);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let v = fb.load(Ty::I64, ctr);
+    fb.emit_out(Ty::I64, v);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let cfg = VmConfig { n_threads: 4, quantum: 7, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![200]);
+}
+
+#[test]
+fn atomic_rmw_is_scheduler_safe() {
+    let mut m = Module::new("t");
+    m.add_global("counter", 8);
+    let ctr = Operand::GlobalAddr(GlobalId(0));
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 100), |b, _| {
+        b.rmw(RmwOp::Add, Ty::I64, ctr, b.iconst(Ty::I64, 1));
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let v = fb.load(Ty::I64, ctr);
+    fb.emit_out(Ty::I64, v);
+    fb.ret(None);
+    m.push_func(fb.finish());
+    let cfg = VmConfig { n_threads: 3, quantum: 5, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.output, vec![300]);
+}
+
+#[test]
+fn transactions_commit_buffered_writes() {
+    let mut m = Module::new("t");
+    m.add_global("x", 8);
+    let g = Operand::GlobalAddr(GlobalId(0));
+    let m2 = {
+        let mut fb = FunctionBuilder::new("fini", &[], None);
+        fb.set_non_local();
+        fb.emit_op(Op::TxBegin);
+        fb.store(Ty::I64, fb.iconst(Ty::I64, 7), g);
+        // Read-your-writes inside the transaction.
+        let v = fb.load(Ty::I64, g);
+        fb.emit_op(Op::TxEnd);
+        fb.emit_out(Ty::I64, v);
+        let after = fb.load(Ty::I64, g);
+        fb.emit_out(Ty::I64, after);
+        fb.ret(None);
+        m.push_func(fb.finish());
+        m
+    };
+    let r = run_fini(&m2);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![7, 7]);
+    assert_eq!(r.htm.commits, 1);
+    assert_eq!(r.htm.started, 1);
+}
+
+#[test]
+fn explicit_abort_retries_then_falls_back_to_failstop() {
+    // tx_begin; tx_abort  -- deterministic abort storm: 1 try + 3 retries,
+    // then fallback executes the abort non-transactionally -> Detected.
+    let m = fini_module(|fb| {
+        fb.emit_op(Op::TxBegin);
+        fb.emit_op(Op::TxAbort { code: haft_ir::inst::AbortCode::Explicit });
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.outcome, RunOutcome::Detected);
+    assert_eq!(r.htm.started, 4, "1 attempt + 3 retries");
+    assert_eq!(r.htm.aborts[&haft_htm::AbortCause::Explicit], 4);
+    assert_eq!(r.htm.fallbacks, 1);
+}
+
+#[test]
+fn ilr_abort_in_tx_counts_as_recovery_attempt() {
+    let m = fini_module(|fb| {
+        fb.emit_op(Op::TxBegin);
+        fb.emit_op(Op::TxAbort { code: haft_ir::inst::AbortCode::IlrDetected });
+    });
+    let r = run_fini(&m);
+    // Deterministic divergence is re-detected each retry; final fallback
+    // execution hits the check outside a transaction: fail-stop.
+    assert_eq!(r.outcome, RunOutcome::Detected);
+    assert_eq!(r.detections, 5, "4 transactional + 1 fallback");
+    assert_eq!(r.recoveries, 4);
+}
+
+#[test]
+fn emit_inside_tx_aborts_then_executes_in_fallback() {
+    let m = fini_module(|fb| {
+        fb.emit_op(Op::TxBegin);
+        fb.emit_out(Ty::I64, fb.iconst(Ty::I64, 42));
+        fb.emit_op(Op::TxEnd);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![42]);
+    assert_eq!(r.htm.fallbacks, 1);
+    assert!(r.htm.aborts[&haft_htm::AbortCause::Unfriendly] >= 1);
+}
+
+#[test]
+fn cond_split_splits_long_transactions() {
+    let mut m = Module::new("t");
+    m.add_global("acc", 8);
+    let g = Operand::GlobalAddr(GlobalId(0));
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    fb.emit_op(Op::TxBegin);
+    fb.counted_loop(fb.iconst(Ty::I64, 0), fb.iconst(Ty::I64, 200), |b, i| {
+        b.emit_op(Op::TxCondSplit);
+        let cur = b.load(Ty::I64, g);
+        let nxt = b.add(Ty::I64, cur, i);
+        b.store(Ty::I64, nxt, g);
+        b.emit_op(Op::TxCounterInc { amount: 10 });
+    });
+    fb.emit_op(Op::TxEnd);
+    let v = fb.load(Ty::I64, g);
+    fb.emit_out(Ty::I64, v);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let cfg = VmConfig { tx_threshold: 100, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![19900]);
+    // 200 iterations * 10 per iteration / threshold 100 => ~20 splits.
+    assert!(r.htm.commits >= 15, "commits = {}", r.htm.commits);
+}
+
+#[test]
+fn lock_elision_keeps_critical_section_transactional() {
+    let mut m = Module::new("t");
+    m.add_global("lock", 8);
+    m.add_global("x", 8);
+    let lock = Operand::GlobalAddr(GlobalId(0));
+    let g = Operand::GlobalAddr(GlobalId(1));
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    fb.emit_op(Op::TxBegin);
+    fb.lock(lock);
+    let v = fb.load(Ty::I64, g);
+    let nv = fb.add(Ty::I64, v, fb.iconst(Ty::I64, 5));
+    fb.store(Ty::I64, nv, g);
+    fb.unlock(lock);
+    fb.emit_op(Op::TxEnd);
+    let out = fb.load(Ty::I64, g);
+    fb.emit_out(Ty::I64, out);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let cfg = VmConfig { lock_elision: true, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert_eq!(r.output, vec![5]);
+    assert_eq!(r.htm.commits, 1, "elided section commits with enclosing tx");
+    assert_eq!(r.htm.total_aborts(), 0);
+}
+
+#[test]
+fn fault_injection_corrupts_exactly_one_register() {
+    let build = |fault: Option<FaultPlan>| {
+        let m = fini_module(|fb| {
+            let a = fb.add(Ty::I64, fb.iconst(Ty::I64, 1), fb.iconst(Ty::I64, 2));
+            let b = fb.mul(Ty::I64, a, fb.iconst(Ty::I64, 10));
+            fb.emit_out(Ty::I64, b);
+            fb.ret(None);
+        });
+        let cfg = VmConfig { fault, ..Default::default() };
+        run(&m, cfg, RunSpec { fini: Some("fini"), ..Default::default() })
+    };
+    let clean = build(None);
+    assert_eq!(clean.output, vec![30]);
+    assert_eq!(clean.register_writes, 2);
+
+    // Corrupt the first register write (a = 3 -> 3 ^ 1 = 2): b = 20.
+    let faulty = build(Some(FaultPlan { occurrence: 0, xor_mask: 1 }));
+    assert_eq!(faulty.output, vec![20]);
+
+    // Corrupt the second (b = 30 -> 30 ^ 4 = 26).
+    let faulty2 = build(Some(FaultPlan { occurrence: 1, xor_mask: 4 }));
+    assert_eq!(faulty2.output, vec![26]);
+}
+
+#[test]
+fn conflicting_transactions_abort_and_recover() {
+    // Two threads transactionally increment the same cell in a loop; the
+    // HTM must serialize them via conflict aborts yet deliver a correct
+    // total because retried transactions re-read the current value.
+    let mut m = Module::new("t");
+    m.add_global("x", 8);
+    let g = Operand::GlobalAddr(GlobalId(0));
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 60), |b, _| {
+        b.emit_op(Op::TxBegin);
+        let v = b.load(Ty::I64, g);
+        let nv = b.add(Ty::I64, v, b.iconst(Ty::I64, 1));
+        b.store(Ty::I64, nv, g);
+        b.emit_op(Op::TxEnd);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let v = fb.load(Ty::I64, g);
+    fb.emit_out(Ty::I64, v);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let cfg = VmConfig { n_threads: 2, quantum: 9, ..Default::default() };
+    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    // Transactional increments are atomic: no lost updates even though
+    // some transactions abort. (Fallback-mode races are possible only
+    // after 3 consecutive aborts of the same attempt, which the quantum
+    // interleaving here does not produce.)
+    assert_eq!(r.output, vec![120]);
+}
+
+#[test]
+fn coverage_accounts_tx_cycles() {
+    let m = fini_module(|fb| {
+        fb.emit_op(Op::TxBegin);
+        let mut v = fb.mov(Ty::I64, fb.iconst(Ty::I64, 1));
+        for _ in 0..50 {
+            v = fb.add(Ty::I64, v, fb.iconst(Ty::I64, 1));
+        }
+        fb.emit_op(Op::TxEnd);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert!(r.htm.coverage_pct() > 30.0, "coverage = {}", r.htm.coverage_pct());
+    assert!(r.htm.coverage_pct() <= 100.0);
+}
+
+#[test]
+fn scoreboard_shows_ilp_sensitivity() {
+    // Serial dependent chain vs. independent ops: same instruction count,
+    // very different cycle counts.
+    let serial = fini_module(|fb| {
+        let mut v = fb.mov(Ty::I64, fb.iconst(Ty::I64, 1));
+        for _ in 0..200 {
+            v = fb.mul(Ty::I64, v, fb.iconst(Ty::I64, 3));
+        }
+        fb.ret(None);
+        let _ = v;
+    });
+    let parallel = fini_module(|fb| {
+        let mut acc = Vec::new();
+        for i in 0..200 {
+            acc.push(fb.mul(Ty::I64, fb.iconst(Ty::I64, i), fb.iconst(Ty::I64, 3)));
+        }
+        fb.ret(None);
+        let _ = acc;
+    });
+    let rs = run_fini(&serial);
+    let rp = run_fini(&parallel);
+    assert!(
+        rs.wall_cycles > rp.wall_cycles * 3,
+        "serial {} vs parallel {}",
+        rs.wall_cycles,
+        rp.wall_cycles
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mk = || {
+        let mut m = Module::new("t");
+        m.add_global("x", 8);
+        let g = Operand::GlobalAddr(GlobalId(0));
+        let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+        w.set_non_local();
+        w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 30), |b, _| {
+            b.rmw(RmwOp::Add, Ty::I64, g, b.iconst(Ty::I64, 1));
+        });
+        w.ret(None);
+        m.push_func(w.finish());
+        m
+    };
+    let m = mk();
+    let cfg = VmConfig { n_threads: 3, seed: 777, ..Default::default() };
+    let r1 = run(&m, cfg.clone(), RunSpec { worker: Some("worker"), ..Default::default() });
+    let r2 = run(&m, cfg, RunSpec { worker: Some("worker"), ..Default::default() });
+    assert_eq!(r1.wall_cycles, r2.wall_cycles);
+    assert_eq!(r1.instructions, r2.instructions);
+    assert_eq!(r1.register_writes, r2.register_writes);
+}
+
+use haft_ir::inst::CastKind;
+
+#[test]
+fn adaptive_threshold_keeps_protection_under_conflicts() {
+    // Two threads transactionally hammer one cell. With a fixed oversized
+    // threshold the retries exhaust and execution degrades to the
+    // unprotected fallback; adaptive sizing shrinks the transactions
+    // instead, keeping most of the execution recoverable.
+    let mk = || {
+        let mut m = Module::new("t");
+        m.add_global("x", 8);
+        let g = Operand::GlobalAddr(GlobalId(0));
+        let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+        w.set_non_local();
+        w.emit_op(Op::TxBegin);
+        w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 400), |b, _| {
+            b.emit_op(Op::TxCondSplit);
+            let v = b.load(Ty::I64, g);
+            let nv = b.add(Ty::I64, v, b.iconst(Ty::I64, 1));
+            b.store(Ty::I64, nv, g);
+            b.emit_op(Op::TxCounterInc { amount: 8 });
+        });
+        w.emit_op(Op::TxEnd);
+        w.ret(None);
+        m.push_func(w.finish());
+        m
+    };
+    let m = mk();
+    let base = VmConfig { n_threads: 2, tx_threshold: 4000, ..Default::default() };
+    let fixed = Vm::run(&m, base.clone(), RunSpec { worker: Some("worker"), ..Default::default() });
+    let mut acfg = base;
+    acfg.adaptive_threshold = true;
+    let adaptive = Vm::run(&m, acfg, RunSpec { worker: Some("worker"), ..Default::default() });
+    assert_eq!(adaptive.outcome, RunOutcome::Completed);
+    // Protection: adaptive stays transactional where fixed gave up.
+    assert!(
+        adaptive.htm.coverage_pct() > fixed.htm.coverage_pct() + 10.0,
+        "adaptive {:.1}% vs fixed {:.1}%",
+        adaptive.htm.coverage_pct(),
+        fixed.htm.coverage_pct()
+    );
+    assert!(adaptive.htm.commits > fixed.htm.commits);
+    // And the cost of that protection is bounded.
+    assert!(
+        adaptive.wall_cycles < fixed.wall_cycles * 8,
+        "adaptive {} vs fixed {}",
+        adaptive.wall_cycles,
+        fixed.wall_cycles
+    );
+}

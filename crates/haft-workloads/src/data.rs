@@ -1,0 +1,95 @@
+//! Deterministic input synthesis for the workload kernels.
+
+use haft_ir::rng::Prng;
+
+/// Seed shared by all workload inputs; fixed so that every experiment in
+/// the repository is reproducible bit-for-bit.
+pub const DATA_SEED: u64 = 0x4841_4654_2016; // "HAFT" 2016.
+
+/// `n` pseudo-random bytes.
+pub fn random_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut rng = Prng::new(DATA_SEED ^ seed);
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// `n` little-endian `i64` values in `[0, bound)`, as raw bytes.
+pub fn random_i64s(seed: u64, n: usize, bound: u64) -> Vec<u8> {
+    let mut rng = Prng::new(DATA_SEED ^ seed);
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        out.extend_from_slice(&rng.below(bound).to_le_bytes());
+    }
+    out
+}
+
+/// `n` little-endian `f64` values in `[lo, hi)`, as raw bytes.
+pub fn random_f64s(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<u8> {
+    let mut rng = Prng::new(DATA_SEED ^ seed);
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        let v = lo + rng.unit_f64() * (hi - lo);
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Text-like bytes: lowercase words of 2–8 letters separated by spaces,
+/// drawn from a Zipf-ish word population (for `wordcount`/`stringmatch`).
+pub fn random_text(seed: u64, n: usize, vocabulary: usize) -> Vec<u8> {
+    let mut rng = Prng::new(DATA_SEED ^ seed);
+    // Pre-generate the vocabulary.
+    let words: Vec<Vec<u8>> = (0..vocabulary)
+        .map(|_| {
+            let len = 2 + rng.below(7) as usize;
+            (0..len).map(|_| b'a' + rng.below(26) as u8).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Zipf-ish: prefer low indices.
+        let r = rng.unit_f64();
+        let idx = ((vocabulary as f64).powf(r) - 1.0) as usize % vocabulary;
+        out.extend_from_slice(&words[idx]);
+        out.push(b' ');
+    }
+    out.truncate(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_bytes(1, 64), random_bytes(1, 64));
+        assert_ne!(random_bytes(1, 64), random_bytes(2, 64));
+        assert_eq!(random_i64s(3, 8, 100), random_i64s(3, 8, 100));
+    }
+
+    #[test]
+    fn i64s_respect_bound() {
+        let bytes = random_i64s(7, 100, 50);
+        for c in bytes.chunks(8) {
+            let v = u64::from_le_bytes(c.try_into().unwrap());
+            assert!(v < 50);
+        }
+    }
+
+    #[test]
+    fn f64s_respect_range() {
+        let bytes = random_f64s(9, 100, -2.0, 3.0);
+        for c in bytes.chunks(8) {
+            let v = f64::from_bits(u64::from_le_bytes(c.try_into().unwrap()));
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn text_is_words_and_spaces() {
+        let t = random_text(5, 1000, 64);
+        assert_eq!(t.len(), 1000);
+        assert!(t.iter().all(|&b| b == b' ' || b.is_ascii_lowercase()));
+        assert!(t.iter().filter(|&&b| b == b' ').count() > 50);
+    }
+}

@@ -1,0 +1,36 @@
+//! Benchmark kernels equivalent to the paper's Phoenix 2.0 and PARSEC 3.0
+//! selections.
+//!
+//! The paper evaluates HAFT on 7 Phoenix and 8 PARSEC applications (plus
+//! the "no-sharing" rewrites `kmeans-ns`/`wordcount-ns` and the
+//! `vips-nc` pass variant). Real Phoenix/PARSEC are hundreds of thousands
+//! of lines of C/C++; what the *evaluation* needs from them is a spread of
+//! behaviours along three axes, and each kernel here is shaped to its
+//! original's published profile:
+//!
+//! * **instruction-level parallelism** — the paper's overhead story.
+//!   `matrixmul` is a serial floating-point reduction with strided misses
+//!   (native IPC ≈ 0.2 → HAFT ≈ 1.04×); `vips`/`x264` are wide
+//!   independent integer pipelines (native IPC ≈ 2.6 → HAFT ≈ 3-4×).
+//! * **sharing** — `kmeans` (true sharing of centroid accumulators) and
+//!   `wordcount` (false sharing of packed counters) abort mostly on
+//!   conflicts; their `-ns` variants pad/privatize state as the authors'
+//!   47- and 5-line rewrites did.
+//! * **transaction footprint** — `swaptions`/`ferret`/`matrixmul` carry
+//!   working sets that overflow the L1-bounded write/read sets
+//!   (capacity aborts), `dedup` spends time in unprotected "libc"
+//!   (low coverage), and `vips` makes many tiny local calls (the
+//!   local-call-optimization anomaly).
+//!
+//! All shared updates are commutative (atomic adds, claim-by-value), so
+//! program output is independent of thread interleaving — the property
+//! fault-injection classification relies on (the paper dropped
+//! `fluidanimate` for violating it).
+
+pub mod data;
+pub mod helpers;
+pub mod parsec;
+pub mod phoenix;
+pub mod spec;
+
+pub use spec::{all_workloads, workload_by_name, Scale, Workload, WORKLOAD_NAMES};

@@ -1,0 +1,697 @@
+//! PARSEC 3.0 kernel equivalents: blackscholes, canneal, dedup, ferret,
+//! streamcluster, swaptions, vips, x264.
+
+use haft_ir::builder::FunctionBuilder;
+use haft_ir::inst::{BinOp, CastKind, CmpOp, Operand, RmwOp, UnOp};
+use haft_ir::module::Module;
+use haft_ir::types::Ty;
+
+use crate::data;
+use crate::helpers::{emit_checksum_i64, thread_slice, xorshift};
+use crate::spec::{Scale, Workload, MAX_THREADS};
+
+/// `blackscholes`: option pricing with long-latency math chains.
+///
+/// Paper profile: HAFT ≈ 1.30× — the dependent `ln`/`exp`/`sqrt` chain
+/// stalls the native pipeline, leaving issue slots for the shadow flow.
+pub fn blackscholes(scale: Scale) -> Workload {
+    let n = scale.pick(600, 12_000);
+    let mut m = Module::new("blackscholes");
+    let spot = m.add_global_init("spot", data::random_f64s(20, n as usize, 10.0, 100.0));
+    let strike = m.add_global_init("strike", data::random_f64s(21, n as usize, 10.0, 100.0));
+    let time = m.add_global_init("time", data::random_f64s(22, n as usize, 0.1, 2.0));
+    let partial = m.add_global("partial", (MAX_THREADS * 64) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let cell_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 64));
+    let cell = w.add(Ty::I64, Operand::GlobalAddr(partial), cell_off);
+    let rate = 0.05f64;
+    let vol = 0.2f64;
+    w.counted_loop(lo, hi, |b, i| {
+        let __h0 = b.gep(Operand::GlobalAddr(spot), i, 8, 0);
+        let s = b.load(Ty::F64, __h0);
+        let __h1 = b.gep(Operand::GlobalAddr(strike), i, 8, 0);
+        let k = b.load(Ty::F64, __h1);
+        let __h2 = b.gep(Operand::GlobalAddr(time), i, 8, 0);
+        let t = b.load(Ty::F64, __h2);
+        // d1 = (ln(S/K) + (r + v^2/2) t) / (v sqrt(t)).
+        let ratio = b.bin(BinOp::FDiv, Ty::F64, s, k);
+        let lnr = b.un(UnOp::FLn, Ty::F64, ratio);
+        let drift = b.bin(BinOp::FMul, Ty::F64, b.fconst(rate + vol * vol / 2.0), t);
+        let num = b.bin(BinOp::FAdd, Ty::F64, lnr, drift);
+        let sqt = b.un(UnOp::FSqrt, Ty::F64, t);
+        let den = b.bin(BinOp::FMul, Ty::F64, b.fconst(vol), sqt);
+        let d1 = b.bin(BinOp::FDiv, Ty::F64, num, den);
+        let d2 = b.bin(BinOp::FSub, Ty::F64, d1, den);
+        // Logistic approximation of the normal CDF.
+        let cnd = |b: &mut FunctionBuilder, x: haft_ir::function::ValueId| {
+            let scaled = b.bin(BinOp::FMul, Ty::F64, x, b.fconst(-1.702));
+            let e = b.un(UnOp::FExp, Ty::F64, scaled);
+            let denom = b.bin(BinOp::FAdd, Ty::F64, e, b.fconst(1.0));
+            b.bin(BinOp::FDiv, Ty::F64, b.fconst(1.0), denom)
+        };
+        let n1 = cnd(b, d1);
+        let n2 = cnd(b, d2);
+        let rt = b.bin(BinOp::FMul, Ty::F64, b.fconst(-rate), t);
+        let disc = b.un(UnOp::FExp, Ty::F64, rt);
+        let leg1 = b.bin(BinOp::FMul, Ty::F64, s, n1);
+        let kd = b.bin(BinOp::FMul, Ty::F64, k, disc);
+        let leg2 = b.bin(BinOp::FMul, Ty::F64, kd, n2);
+        let price = b.bin(BinOp::FSub, Ty::F64, leg1, leg2);
+        let scaled = b.bin(BinOp::FMul, Ty::F64, price, b.fconst(1000.0));
+        let fx = b.cast(CastKind::FpToSi, Ty::I64, scaled);
+        let cur = b.load(Ty::I64, cell);
+        let nxt = b.add(Ty::I64, cur, fx);
+        b.store(Ty::I64, nxt, cell);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(partial), MAX_THREADS * 8);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("blackscholes", m, None, Some("worker"), Some("fini"))
+}
+
+/// `canneal`: annealing-style swaps over a partitioned grid with
+/// pointer-chasing cost evaluation.
+///
+/// Paper profile: HAFT ≈ 1.36× (dependent loads leave ILP headroom),
+/// abort rate 0.28 %. Threads own disjoint stripes so the output is
+/// schedule-independent.
+pub fn canneal(scale: Scale) -> Workload {
+    let cells: i64 = 1 << 10;
+    let iters = scale.pick(800, 8_000);
+    let mut m = Module::new("canneal");
+    let grid = m.add_global_init("grid", data::random_i64s(30, cells as usize, cells as u64));
+    let accepted = m.add_global("accepted", (MAX_THREADS * 64) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    // Stripe [clo, chi) of the grid; iterations proportional to stripe.
+    let (clo, chi) = thread_slice(&mut w, tid, nt, cells);
+    let stripe = w.sub(Ty::I64, chi, clo);
+    let (ilo, ihi) = thread_slice(&mut w, tid, nt, iters);
+    let my_iters = w.sub(Ty::I64, ihi, ilo);
+    let seed0 = w.add(Ty::I64, tid, w.iconst(Ty::I64, 0x9E37_79B9));
+    let acc_cell_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 64));
+    let acc_cell = w.add(Ty::I64, Operand::GlobalAddr(accepted), acc_cell_off);
+    let seed_cell = w.alloc(w.iconst(Ty::I64, 8));
+    w.store(Ty::I64, seed0, seed_cell);
+    w.counted_loop(w.iconst(Ty::I64, 0), my_iters, |b, _| {
+        let s = b.load(Ty::I64, seed_cell);
+        let s1 = xorshift(b, s);
+        b.store(Ty::I64, s1, seed_cell);
+        // Two positions inside the stripe.
+        let r1 = b.bin(BinOp::URem, Ty::I64, s1, stripe);
+        let p1 = b.add(Ty::I64, clo, r1);
+        let shifted = b.bin(BinOp::LShr, Ty::I64, s1, b.iconst(Ty::I64, 17));
+        let r2 = b.bin(BinOp::URem, Ty::I64, shifted, stripe);
+        let p2 = b.add(Ty::I64, clo, r2);
+        // Pointer chase: value at p1 names another cell (within the
+        // thread's own stripe, for schedule independence) whose value is
+        // the "routing cost" (dependent load chain).
+        let __h3 = b.gep(Operand::GlobalAddr(grid), p1, 8, 0);
+        let v1 = b.load(Ty::I64, __h3);
+        let v1r = b.bin(BinOp::URem, Ty::I64, v1, stripe);
+        let v1m = b.add(Ty::I64, clo, v1r);
+        let __h4 = b.gep(Operand::GlobalAddr(grid), v1m, 8, 0);
+        let c1 = b.load(Ty::I64, __h4);
+        let __h5 = b.gep(Operand::GlobalAddr(grid), p2, 8, 0);
+        let v2 = b.load(Ty::I64, __h5);
+        let v2r = b.bin(BinOp::URem, Ty::I64, v2, stripe);
+        let v2m = b.add(Ty::I64, clo, v2r);
+        let __h6 = b.gep(Operand::GlobalAddr(grid), v2m, 8, 0);
+        let c2 = b.load(Ty::I64, __h6);
+        // Swap if it lowers the pseudo-cost.
+        let better = b.cmp(CmpOp::SLt, Ty::I64, c2, c1);
+        b.if_then(better, |b2| {
+            let __h0 = b2.gep(Operand::GlobalAddr(grid), p1, 8, 0);
+            b2.store(Ty::I64, v2, __h0);
+            let __h1 = b2.gep(Operand::GlobalAddr(grid), p2, 8, 0);
+            b2.store(Ty::I64, v1, __h1);
+            let cur = b2.load(Ty::I64, acc_cell);
+            let nxt = b2.add(Ty::I64, cur, b2.iconst(Ty::I64, 1));
+            b2.store(Ty::I64, nxt, acc_cell);
+        });
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(accepted), MAX_THREADS * 8);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("canneal", m, None, Some("worker"), Some("fini"))
+}
+
+/// `dedup`: chunking + rolling hash + claim-by-value dedup table, with an
+/// unprotected "compression library" call per unique chunk.
+///
+/// Paper profile: the low-coverage case (75.1 % — time in unhardened
+/// libc); HAFT ≈ 1.13×.
+pub fn dedup(scale: Scale) -> Workload {
+    let n = scale.pick(8_192, 65_536);
+    const CHUNK: i64 = 64;
+    const TABLE: i64 = 1 << 10;
+    let mut m = Module::new("dedup");
+    // Data with repeated blocks so duplicates exist.
+    let mut input = data::random_bytes(40, (n / 2) as usize);
+    let copy = input.clone();
+    input.extend_from_slice(&copy);
+    let input = m.add_global_init("input", input);
+    let table = m.add_global("table", (TABLE * 8) as u64);
+    let stats = m.add_global("stats", 3 * 8);
+    let scratch = m.add_global("scratch", (MAX_THREADS * CHUNK) as u64);
+
+    // Unprotected "compression" routine (stands in for libc/zlib): copies
+    // and folds the chunk without HAFT instrumentation.
+    let mut ext = FunctionBuilder::new("compress_ext", &[Ty::Ptr, Ty::Ptr], Some(Ty::I64));
+    ext.set_external();
+    let src = ext.param(0);
+    let dst = ext.param(1);
+    let acc = ext.alloc(ext.iconst(Ty::I64, 8));
+    ext.store(Ty::I64, ext.iconst(Ty::I64, 0), acc);
+    ext.counted_loop(ext.iconst(Ty::I64, 0), ext.iconst(Ty::I64, CHUNK), |b, i| {
+        let __h7 = b.gep(src, i, 1, 0);
+        let c = b.load(Ty::I8, __h7);
+        let x = b.cast(CastKind::ZExt, Ty::I64, c);
+        let rotated = b.bin(BinOp::Xor, Ty::I64, x, i);
+        let t = b.cast(CastKind::Trunc, Ty::I8, rotated);
+        let __h2 = b.gep(dst, i, 1, 0);
+        b.store(Ty::I8, t, __h2);
+        let cur = b.load(Ty::I64, acc);
+        let nxt = b.add(Ty::I64, cur, rotated);
+        b.store(Ty::I64, nxt, acc);
+    });
+    let folded = ext.load(Ty::I64, acc);
+    ext.ret(Some(folded.into()));
+    let ext_id = m.push_func(ext.finish());
+
+    let chunks = n / CHUNK;
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, chunks);
+    let scratch_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, CHUNK));
+    let my_scratch = w.add(Ty::I64, Operand::GlobalAddr(scratch), scratch_off);
+    let hcell = w.alloc(w.iconst(Ty::I64, 8));
+    let done = w.alloc(w.iconst(Ty::I64, 8));
+    let local_stats = w.alloc(w.iconst(Ty::I64, 24));
+    w.counted_loop(lo, hi, |b, ci| {
+        let base = b.mul(Ty::I64, ci, b.iconst(Ty::I64, CHUNK));
+        // Rolling hash over the chunk (serial chain).
+        b.store(Ty::I64, b.iconst(Ty::I64, 1469598103), hcell);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, CHUNK), |b2, j| {
+            let pos = b2.add(Ty::I64, base, j);
+            let __p = b2.gep(Operand::GlobalAddr(input), pos, 1, 0);
+            let c = b2.load(Ty::I8, __p);
+            let x = b2.cast(CastKind::ZExt, Ty::I64, c);
+            let h = b2.load(Ty::I64, hcell);
+            let hx = b2.bin(BinOp::Xor, Ty::I64, h, x);
+            let hm = b2.mul(Ty::I64, hx, b2.iconst(Ty::I64, 1099511628211));
+            b2.store(Ty::I64, hm, hcell);
+        });
+        let h = b.load(Ty::I64, hcell);
+        // Never-zero marker hash.
+        let hz = b.bin(BinOp::Or, Ty::I64, h, b.iconst(Ty::I64, 1));
+        // Claim-by-value with deterministic linear probing: every
+        // distinct hash is claimed exactly once, by whichever thread gets
+        // there first, so the global statistics are schedule-independent.
+        b.store(Ty::I64, b.iconst(Ty::I64, 0), done);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, 16), |b2, k| {
+            let d = b2.load(Ty::I64, done);
+            let open = b2.cmp(CmpOp::Eq, Ty::I64, d, b2.iconst(Ty::I64, 0));
+            b2.if_then(open, |b3| {
+                let hk = b3.add(Ty::I64, hz, k);
+                let slot = b3.bin(BinOp::URem, Ty::I64, hk, b3.iconst(Ty::I64, TABLE));
+                let cell = b3.gep(Operand::GlobalAddr(table), slot, 8, 0);
+                let old = b3.cmpxchg(Ty::I64, cell, b3.iconst(Ty::I64, 0), hz);
+                let was_empty = b3.cmp(CmpOp::Eq, Ty::I64, old, b3.iconst(Ty::I64, 0));
+                b3.if_then(was_empty, |b4| {
+                    let lu = b4.load(Ty::I64, local_stats);
+                    let lu1 = b4.add(Ty::I64, lu, b4.iconst(Ty::I64, 1));
+                    b4.store(Ty::I64, lu1, local_stats);
+                    // Compress unique chunks through the unprotected
+                    // library; fold the result into a commutative sum.
+                    let src = b4.gep(Operand::GlobalAddr(input), base, 1, 0);
+                    let folded = b4
+                        .call(ext_id, &[src.into(), my_scratch.into()], Some(Ty::I64))
+                        .unwrap();
+                    let fold_cell = b4.gep(local_stats, b4.iconst(Ty::I64, 1), 8, 0);
+                    let lf = b4.load(Ty::I64, fold_cell);
+                    let lf1 = b4.add(Ty::I64, lf, folded);
+                    b4.store(Ty::I64, lf1, fold_cell);
+                    b4.store(Ty::I64, b4.iconst(Ty::I64, 1), done);
+                });
+                let is_dup = b3.cmp(CmpOp::Eq, Ty::I64, old, hz);
+                b3.if_then(is_dup, |b4| {
+                    let dup_cell = b4.gep(local_stats, b4.iconst(Ty::I64, 2), 8, 0);
+                    let ld = b4.load(Ty::I64, dup_cell);
+                    let ld1 = b4.add(Ty::I64, ld, b4.iconst(Ty::I64, 1));
+                    b4.store(Ty::I64, ld1, dup_cell);
+                    b4.store(Ty::I64, b4.iconst(Ty::I64, 1), done);
+                });
+            });
+        });
+    });
+    // Flush the thread's statistics once, at the end.
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, 3), |b3, c| {
+        let lc = b3.gep(local_stats, c, 8, 0);
+        let v = b3.load(Ty::I64, lc);
+        let sc = b3.gep(Operand::GlobalAddr(stats), c, 8, 0);
+        b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(stats), 3);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("dedup", m, None, Some("worker"), Some("fini"))
+}
+
+/// `ferret`: nearest-neighbour scans over a vector database with a
+/// cache-thrashing candidate buffer.
+///
+/// Paper profile: 80 % capacity aborts, 12.6× abort increase under
+/// hyper-threading; HAFT ≈ 1.99×.
+pub fn ferret(scale: Scale) -> Workload {
+    const DIM: i64 = 8;
+    const DB: i64 = 192;
+    let queries = scale.pick(6, 48);
+    let mut m = Module::new("ferret");
+    let db = m.add_global_init("db", data::random_i64s(50, (DB * DIM) as usize, 256));
+    let qs = m.add_global_init("qs", data::random_i64s(51, (queries * DIM) as usize, 256));
+    let result = m.add_global("result", (queries * 8) as u64);
+    // Candidate scratch: slots spaced 4 KB apart map to the same L1 set,
+    // so the write set overflows associativity (capacity aborts).
+    let scratch = m.add_global("scratch", (MAX_THREADS as u64) * 8 * 4096);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, queries);
+    let sc_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 8 * 4096));
+    let sc = w.add(Ty::I64, Operand::GlobalAddr(scratch), sc_off);
+    let bestd = w.alloc(w.iconst(Ty::I64, 16));
+    let besti = w.gep(bestd, w.iconst(Ty::I64, 1), 8, 0);
+    w.counted_loop(lo, hi, |b, q| {
+        let qbase = b.gep(Operand::GlobalAddr(qs), q, (DIM * 8) as u32, 0);
+        b.store(Ty::I64, b.iconst(Ty::I64, i64::MAX), bestd);
+        b.store(Ty::I64, b.iconst(Ty::I64, -1), besti);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, DB), |b2, v| {
+            let vbase = b2.gep(Operand::GlobalAddr(db), v, (DIM * 8) as u32, 0);
+            // Unrolled L2 distance, two independent accumulator chains.
+            let mut evens = b2.mov(Ty::I64, b2.iconst(Ty::I64, 0));
+            let mut odds = b2.mov(Ty::I64, b2.iconst(Ty::I64, 0));
+            for d in 0..DIM {
+                let __h9 = b2.gep(qbase, b2.iconst(Ty::I64, d), 8, 0);
+                let qv = b2.load(Ty::I64, __h9);
+                let __h10 = b2.gep(vbase, b2.iconst(Ty::I64, d), 8, 0);
+                let dv = b2.load(Ty::I64, __h10);
+                let diff = b2.sub(Ty::I64, qv, dv);
+                let sq = b2.mul(Ty::I64, diff, diff);
+                if d % 2 == 0 {
+                    evens = b2.add(Ty::I64, evens, sq);
+                } else {
+                    odds = b2.add(Ty::I64, odds, sq);
+                }
+            }
+            let dist = b2.add(Ty::I64, evens, odds);
+            // Thrash the scratch slots (same-set lines).
+            let slot = b2.bin(BinOp::URem, Ty::I64, v, b2.iconst(Ty::I64, 8));
+            let sc_cell = b2.gep(sc, slot, 4096, 0);
+            b2.store(Ty::I64, dist, sc_cell);
+            let cur = b2.load(Ty::I64, bestd);
+            let better = b2.cmp(CmpOp::SLt, Ty::I64, dist, cur);
+            b2.if_then(better, |b3| {
+                b3.store(Ty::I64, dist, bestd);
+                b3.store(Ty::I64, v, besti);
+            });
+        });
+        let bi = b.load(Ty::I64, besti);
+        let __h3 = b.gep(Operand::GlobalAddr(result), q, 8, 0);
+        b.store(Ty::I64, bi, __h3);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(result), queries);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("ferret", m, None, Some("worker"), Some("fini"))
+}
+
+/// `streamcluster`: streaming assignment against shared centers.
+///
+/// Paper profile: the conflict extreme — 23.4 % abort rate, 99.9 %
+/// conflicts (every thread updates the same assignment counters packed in
+/// one cache line).
+pub fn streamcluster(scale: Scale) -> Workload {
+    const DIM: i64 = 4;
+    const CENTERS: i64 = 8;
+    let n = scale.pick(1_500, 12_000);
+    let mut m = Module::new("streamcluster");
+    let pts = m.add_global_init("pts", data::random_i64s(60, (n * DIM) as usize, 1000));
+    let centers =
+        m.add_global_init("centers", data::random_i64s(61, (CENTERS * DIM) as usize, 1000));
+    // All assignment counters share one line: intense conflict traffic.
+    let counts = m.add_global("counts", (CENTERS * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let bestd = w.alloc(w.iconst(Ty::I64, 16));
+    let bestk = w.gep(bestd, w.iconst(Ty::I64, 1), 8, 0);
+    let local = w.alloc(w.iconst(Ty::I64, CENTERS * 8));
+    w.counted_loop(lo, hi, |b, i| {
+        let pbase = b.gep(Operand::GlobalAddr(pts), i, (DIM * 8) as u32, 0);
+        b.store(Ty::I64, b.iconst(Ty::I64, i64::MAX), bestd);
+        b.store(Ty::I64, b.iconst(Ty::I64, 0), bestk);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, CENTERS), |b2, k| {
+            let cbase = b2.gep(Operand::GlobalAddr(centers), k, (DIM * 8) as u32, 0);
+            let mut dist = b2.mov(Ty::I64, b2.iconst(Ty::I64, 0));
+            for d in 0..DIM {
+                let __h11 = b2.gep(pbase, b2.iconst(Ty::I64, d), 8, 0);
+                let pv = b2.load(Ty::I64, __h11);
+                let __h12 = b2.gep(cbase, b2.iconst(Ty::I64, d), 8, 0);
+                let cv = b2.load(Ty::I64, __h12);
+                let diff = b2.sub(Ty::I64, pv, cv);
+                let sq = b2.mul(Ty::I64, diff, diff);
+                dist = b2.add(Ty::I64, dist, sq);
+            }
+            let cur = b2.load(Ty::I64, bestd);
+            let better = b2.cmp(CmpOp::SLt, Ty::I64, dist, cur);
+            let nd = b2.select(Ty::I64, better, dist, cur);
+            b2.store(Ty::I64, nd, bestd);
+            let ck = b2.load(Ty::I64, bestk);
+            let nk = b2.select(Ty::I64, better, k, ck);
+            b2.store(Ty::I64, nk, bestk);
+        });
+        let k = b.load(Ty::I64, bestk);
+        let lc = b.gep(local, k, 8, 0);
+        let cur = b.load(Ty::I64, lc);
+        let nxt = b.add(Ty::I64, cur, b.iconst(Ty::I64, 1));
+        b.store(Ty::I64, nxt, lc);
+        // Flush the batch into the shared (single-line) counter block
+        // every 16 points — streamcluster's pathological sharing.
+        let batch = b.bin(BinOp::And, Ty::I64, i, b.iconst(Ty::I64, 15));
+        let flush = b.cmp(CmpOp::Eq, Ty::I64, batch, b.iconst(Ty::I64, 15));
+        b.if_then(flush, |b2| {
+            b2.counted_loop(b2.iconst(Ty::I64, 0), b2.iconst(Ty::I64, CENTERS), |b3, c| {
+                let lcc = b3.gep(local, c, 8, 0);
+                let v = b3.load(Ty::I64, lcc);
+                let sc = b3.gep(Operand::GlobalAddr(counts), c, 8, 0);
+                b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+                b3.store(Ty::I64, b3.iconst(Ty::I64, 0), lcc);
+            });
+        });
+    });
+    // Remainder flush.
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, CENTERS), |b3, c| {
+        let lcc = b3.gep(local, c, 8, 0);
+        let v = b3.load(Ty::I64, lcc);
+        let sc = b3.gep(Operand::GlobalAddr(counts), c, 8, 0);
+        b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(counts), CENTERS);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("streamcluster", m, None, Some("worker"), Some("fini"))
+}
+
+/// `swaptions`: Monte-Carlo rate paths into same-set scratch lines.
+///
+/// Paper profile: 90.9 % capacity aborts (the per-path scratch overflows
+/// the L1 write-set budget); HAFT ≈ 2.64×.
+pub fn swaptions(scale: Scale) -> Workload {
+    const STEPS: i64 = 32;
+    let sims = scale.pick(300, 2_400);
+    let mut m = Module::new("swaptions");
+    // Path scratch: STEPS slots spaced 4 KB apart per thread — same-set
+    // write lines, exceeding 8-way associativity.
+    let scratch = m.add_global("scratch", (MAX_THREADS as u64) * STEPS as u64 * 1024);
+    let prices = m.add_global("prices", (MAX_THREADS * 64) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, sims);
+    let sc_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, STEPS * 1024));
+    let sc = w.add(Ty::I64, Operand::GlobalAddr(scratch), sc_off);
+    let pcell_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 64));
+    let pcell = w.add(Ty::I64, Operand::GlobalAddr(prices), pcell_off);
+    let seed_cell = w.alloc(w.iconst(Ty::I64, 8));
+    let s0 = w.add(Ty::I64, tid, w.iconst(Ty::I64, 0xC0FFEE));
+    w.store(Ty::I64, s0, seed_cell);
+    let rate = w.alloc(w.iconst(Ty::I64, 8));
+    let sum = w.alloc(w.iconst(Ty::I64, 8));
+    w.counted_loop(lo, hi, |b, _sim| {
+        // Simulate one path: write each step to its same-set slot.
+        b.store(Ty::F64, b.fconst(0.05), rate);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, STEPS), |b2, st| {
+            let s = b2.load(Ty::I64, seed_cell);
+            let s1 = xorshift(b2, s);
+            b2.store(Ty::I64, s1, seed_cell);
+            let noise = b2.bin(BinOp::AShr, Ty::I64, s1, b2.iconst(Ty::I64, 40));
+            let nf = b2.cast(CastKind::SiToFp, Ty::F64, noise);
+            let shock = b2.bin(BinOp::FMul, Ty::F64, nf, b2.fconst(1e-8));
+            let r = b2.load(Ty::F64, rate);
+            let drift = b2.bin(BinOp::FMul, Ty::F64, r, b2.fconst(1.001));
+            let nr = b2.bin(BinOp::FAdd, Ty::F64, drift, shock);
+            b2.store(Ty::F64, nr, rate);
+            let slot = b2.gep(sc, st, 1024, 0);
+            b2.store(Ty::F64, nr, slot);
+        });
+        // Payoff: average of the path (reads the scratch back).
+        b.store(Ty::F64, b.fconst(0.0), sum);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, STEPS), |b2, st| {
+            let slot = b2.gep(sc, st, 1024, 0);
+            let v = b2.load(Ty::F64, slot);
+            let cur = b2.load(Ty::F64, sum);
+            let nxt = b2.bin(BinOp::FAdd, Ty::F64, cur, v);
+            b2.store(Ty::F64, nxt, sum);
+        });
+        let __h13 = b.load(Ty::F64, sum);
+        let avg = b.bin(BinOp::FDiv, Ty::F64, __h13, b.fconst(STEPS as f64));
+        let scaled = b.bin(BinOp::FMul, Ty::F64, avg, b.fconst(1_000_000.0));
+        let fx = b.cast(CastKind::FpToSi, Ty::I64, scaled);
+        let cur = b.load(Ty::I64, pcell);
+        let nxt = b.add(Ty::I64, cur, fx);
+        b.store(Ty::I64, nxt, pcell);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(prices), MAX_THREADS * 8);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("swaptions", m, None, Some("worker"), Some("fini"))
+}
+
+/// `vips`: image filter with one tiny local call per pixel and a wide
+/// (high-ILP) body.
+///
+/// Paper profile: the worst case — native IPC 2.6 leaves no slack for the
+/// shadow flow (4.21×), and the per-call counter/split bookkeeping of the
+/// local-call optimization is a net loss (`vips-nc` drops to 2.68×).
+pub fn vips(scale: Scale) -> Workload {
+    let w_px = scale.pick(52, 100);
+    let h_px = scale.pick(40, 96);
+    let mut m = Module::new("vips");
+    let npix = w_px * h_px;
+    let img = m.add_global_init("img", data::random_i64s(70, npix as usize, 256));
+    let out = m.add_global("out", (npix * 8) as u64);
+    // Per-thread tile buffer whose slots alias one L1 set (4 KB stride):
+    // the image library's scatter-gather working buffer. Under the
+    // local-call optimization a transaction spans many pixels and
+    // accumulates most of these same-set lines in its write set — the
+    // capacity aborts behind vips's worst-in-suite overhead. Without the
+    // optimization (`vips-nc`) each tiny transaction touches only a
+    // couple of slots and commits.
+    let tiles = m.add_global("tiles", (MAX_THREADS as u64) * 12 * 4096);
+
+    // The tiny per-pixel kernel: wide independent integer math.
+    let mut k = FunctionBuilder::new("vips_kernel", &[Ty::I64], Some(Ty::I64));
+    let x = k.param(0);
+    let mut terms = Vec::new();
+    for c in 1..25i64 {
+        let t = k.mul(Ty::I64, x, k.iconst(Ty::I64, c));
+        let u = k.add(Ty::I64, t, k.iconst(Ty::I64, c * 17));
+        let v = k.bin(BinOp::Xor, Ty::I64, u, k.iconst(Ty::I64, c * 255));
+        let sh = k.bin(BinOp::Shl, Ty::I64, v, k.iconst(Ty::I64, c & 7));
+        terms.push(k.bin(BinOp::Or, Ty::I64, v, sh));
+    }
+    // Balanced reduction keeps the body wide.
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for pair in terms.chunks(2) {
+            next.push(if pair.len() == 2 {
+                k.add(Ty::I64, pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        terms = next;
+    }
+    k.ret(Some(terms[0].into()));
+    let kid = m.push_func(k.finish());
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let tile_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 12 * 4096));
+    let tile = w.add(Ty::I64, Operand::GlobalAddr(tiles), tile_off);
+    // Round-robin row striping, as image libraries hand out scanlines.
+    let pre = w.current_block();
+    let header = w.new_block();
+    let body = w.new_block();
+    let exit = w.new_block();
+    w.br(header);
+    w.switch_to(header);
+    let y = w.phi(Ty::I64);
+    w.phi_incoming(y, tid, pre);
+    let more = w.cmp(CmpOp::SLt, Ty::I64, y, w.iconst(Ty::I64, h_px));
+    w.condbr(more, body, exit);
+    w.switch_to(body);
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, w_px), |bx, xcol| {
+        let rowbase = bx.mul(Ty::I64, y, bx.iconst(Ty::I64, w_px));
+        let idx = bx.add(Ty::I64, rowbase, xcol);
+        let pix = bx.gep(Operand::GlobalAddr(img), idx, 8, 0);
+        let v = bx.load(Ty::I64, pix);
+        let r = bx.call(kid, &[v.into()], Some(Ty::I64)).unwrap();
+        let dst = bx.gep(Operand::GlobalAddr(out), idx, 8, 0);
+        bx.store(Ty::I64, r, dst);
+        let slot = bx.bin(BinOp::URem, Ty::I64, xcol, bx.iconst(Ty::I64, 12));
+        let tcell = bx.gep(tile, slot, 4096, 0);
+        bx.store(Ty::I64, r, tcell);
+    });
+    let latch = w.current_block();
+    let ynext = w.add(Ty::I64, y, nt);
+    w.phi_incoming(y, ynext, latch);
+    w.br(header);
+    w.switch_to(exit);
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(out), npix);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("vips", m, None, Some("worker"), Some("fini"))
+}
+
+/// `x264`: block-based motion search (SAD over a search window).
+///
+/// Paper profile: wide integer pipelines (overhead 2.86×) with large
+/// encoded-output write sets (64 % capacity aborts).
+pub fn x264(scale: Scale) -> Workload {
+    let dim = scale.pick(32, 64);
+    const BLK: i64 = 8;
+    const SEARCH: i64 = 4;
+    let mut m = Module::new("x264");
+    let reference = m.add_global_init("ref", data::random_bytes(80, (dim * dim) as usize));
+    // Current frame: the reference shifted, so motion search finds real
+    // offsets.
+    let mut cur = data::random_bytes(80, (dim * dim) as usize);
+    cur.rotate_left(dim as usize * 2 + 3);
+    let current = m.add_global_init("cur", cur);
+    let blocks = (dim / BLK) * (dim / BLK);
+    let mvs = m.add_global("mvs", (blocks * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, blocks);
+    let bpr = dim / BLK; // Blocks per row.
+    let best = w.alloc(w.iconst(Ty::I64, 16));
+    let bestoff = w.gep(best, w.iconst(Ty::I64, 1), 8, 0);
+    let sad_cell = w.alloc(w.iconst(Ty::I64, 8));
+    w.counted_loop(lo, hi, |b, blk| {
+        let brow = b.bin(BinOp::SDiv, Ty::I64, blk, b.iconst(Ty::I64, bpr));
+        let bcol = b.bin(BinOp::SRem, Ty::I64, blk, b.iconst(Ty::I64, bpr));
+        let y0 = b.mul(Ty::I64, brow, b.iconst(Ty::I64, BLK));
+        let x0 = b.mul(Ty::I64, bcol, b.iconst(Ty::I64, BLK));
+        b.store(Ty::I64, b.iconst(Ty::I64, i64::MAX), best);
+        b.store(Ty::I64, b.iconst(Ty::I64, 0), bestoff);
+        // Horizontal search window.
+        b.counted_loop(b.iconst(Ty::I64, -SEARCH), b.iconst(Ty::I64, SEARCH + 1), |b2, off| {
+            b2.store(Ty::I64, b2.iconst(Ty::I64, 0), sad_cell);
+            b2.counted_loop(b2.iconst(Ty::I64, 0), b2.iconst(Ty::I64, BLK), |b3, dy| {
+                let y = b3.add(Ty::I64, y0, dy);
+                let rowbase = b3.mul(Ty::I64, y, b3.iconst(Ty::I64, dim));
+                // Unrolled row SAD: independent |a-b| chains.
+                let mut partial = b3.mov(Ty::I64, b3.iconst(Ty::I64, 0));
+                for dx in 0..BLK {
+                    let x = b3.add(Ty::I64, x0, b3.iconst(Ty::I64, dx));
+                    let ci = b3.add(Ty::I64, rowbase, x);
+                    let __h15 = b3.gep(Operand::GlobalAddr(current), ci, 1, 0);
+                    let cv = b3.load(Ty::I8, __h15);
+                    let c64 = b3.cast(CastKind::ZExt, Ty::I64, cv);
+                    let rx = b3.add(Ty::I64, x, off);
+                    let rxc = b3.bin(BinOp::And, Ty::I64, rx, b3.iconst(Ty::I64, dim - 1));
+                    let ri = b3.add(Ty::I64, rowbase, rxc);
+                    let __h16 = b3.gep(Operand::GlobalAddr(reference), ri, 1, 0);
+                    let rv = b3.load(Ty::I8, __h16);
+                    let r64 = b3.cast(CastKind::ZExt, Ty::I64, rv);
+                    let diff = b3.sub(Ty::I64, c64, r64);
+                    let neg = b3.un(UnOp::Neg, Ty::I64, diff);
+                    let pos = b3.cmp(CmpOp::SGe, Ty::I64, diff, b3.iconst(Ty::I64, 0));
+                    let abs = b3.select(Ty::I64, pos, diff, neg);
+                    partial = b3.add(Ty::I64, partial, abs);
+                }
+                let cur = b3.load(Ty::I64, sad_cell);
+                let nxt = b3.add(Ty::I64, cur, partial);
+                b3.store(Ty::I64, nxt, sad_cell);
+            });
+            let sad = b2.load(Ty::I64, sad_cell);
+            let curbest = b2.load(Ty::I64, best);
+            let better = b2.cmp(CmpOp::SLt, Ty::I64, sad, curbest);
+            b2.if_then(better, |b3| {
+                b3.store(Ty::I64, sad, best);
+                b3.store(Ty::I64, off, bestoff);
+            });
+        });
+        let mv = b.load(Ty::I64, bestoff);
+        let __h5 = b.gep(Operand::GlobalAddr(mvs), blk, 8, 0);
+        b.store(Ty::I64, mv, __h5);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(mvs), blocks);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("x264", m, None, Some("worker"), Some("fini"))
+}

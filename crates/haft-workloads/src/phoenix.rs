@@ -1,0 +1,621 @@
+//! Phoenix 2.0 kernel equivalents: histogram, kmeans(-ns), linearreg,
+//! matrixmul, pca, stringmatch, wordcount(-ns).
+
+use haft_ir::builder::FunctionBuilder;
+use haft_ir::inst::{BinOp, CastKind, CmpOp, Operand, RmwOp};
+use haft_ir::module::Module;
+use haft_ir::types::Ty;
+
+use crate::data;
+use crate::helpers::{emit_checksum_i64, thread_slice};
+use crate::spec::{Scale, Workload, MAX_THREADS};
+
+/// `histogram`: byte-frequency counting into per-thread tables.
+///
+/// Paper profile: low abort rate (1.1 %), mostly "other" causes; HAFT
+/// overhead ≈ 1.55×. Per-thread tables are 2 KB apart, so there is no
+/// sharing; the dependent load→index→load→add→store chain leaves some
+/// spare issue slots for the shadow flow.
+pub fn histogram(scale: Scale) -> Workload {
+    let n = scale.pick(16_384, 120_000);
+    let mut m = Module::new("histogram");
+    let input = m.add_global_init("input", data::random_bytes(1, n as usize));
+    let hist = m.add_global("hist", (MAX_THREADS * 256 * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let base = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 256 * 8));
+    let mybase = w.add(Ty::I64, Operand::GlobalAddr(hist), base);
+    w.counted_loop(lo, hi, |b, i| {
+        let p = b.gep(Operand::GlobalAddr(input), i, 1, 0);
+        let byte = b.load(Ty::I8, p);
+        let idx = b.cast(CastKind::ZExt, Ty::I64, byte);
+        let cell = b.gep(mybase, idx, 8, 0);
+        let cur = b.load(Ty::I64, cell);
+        let nxt = b.add(Ty::I64, cur, b.iconst(Ty::I64, 1));
+        b.store(Ty::I64, nxt, cell);
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(hist), MAX_THREADS * 256);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("histogram", m, None, Some("worker"), Some("fini"))
+}
+
+/// `kmeans`: one assignment+accumulation pass over 2-D points.
+///
+/// Paper profile: 99.9 % of aborts are conflicts — every thread updates
+/// the shared centroid accumulators. The `ns` variant privatizes the
+/// accumulators per thread (the authors' 5-line rewrite).
+pub fn kmeans(scale: Scale, ns: bool) -> Workload {
+    const K: i64 = 8;
+    const D: i64 = 4;
+    let n = scale.pick(1_200, 8_000);
+    let name = if ns { "kmeans-ns" } else { "kmeans" };
+    let mut m = Module::new(name);
+    let points = m.add_global_init("points", data::random_f64s(2, (n * D) as usize, 0.0, 10.0));
+    let centroids =
+        m.add_global_init("centroids", data::random_f64s(3, (K * D) as usize, 0.0, 10.0));
+    // Shared: one accumulator block. Private: one per thread.
+    let acc_sets: i64 = if ns { MAX_THREADS } else { 1 };
+    let sums = m.add_global("sums", (acc_sets * K * (D + 1) * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let my_sums = if ns {
+        let off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, K * (D + 1) * 8));
+        w.add(Ty::I64, Operand::GlobalAddr(sums), off)
+    } else {
+        w.mov(Ty::Ptr, Operand::GlobalAddr(sums))
+    };
+    let best = w.alloc(w.iconst(Ty::I64, 16));
+    let bd = w.gep(best, w.iconst(Ty::I64, 1), 8, 0);
+    let local = w.alloc(w.iconst(Ty::I64, K * (D + 1) * 8));
+    w.counted_loop(lo, hi, |b, i| {
+        let pbase = b.gep(Operand::GlobalAddr(points), i, (D * 8) as u32, 0);
+        // Nearest centroid: distance loop over K, argmin carried in
+        // (best_k, best_d) cells.
+        b.store(Ty::I64, b.iconst(Ty::I64, 0), best);
+        b.store(Ty::F64, b.fconst(f64::MAX), bd);
+        b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, K), |b2, k| {
+            let cbase = b2.gep(Operand::GlobalAddr(centroids), k, (D * 8) as u32, 0);
+            // Unrolled D=4 squared distance (independent FP chains).
+            let mut partial = Vec::new();
+            for d in 0..D {
+                let __h0 = b2.gep(pbase, b2.iconst(Ty::I64, d), 8, 0);
+                let pv = b2.load(Ty::F64, __h0);
+                let __h1 = b2.gep(cbase, b2.iconst(Ty::I64, d), 8, 0);
+                let cv = b2.load(Ty::F64, __h1);
+                let diff = b2.bin(BinOp::FSub, Ty::F64, pv, cv);
+                partial.push(b2.bin(BinOp::FMul, Ty::F64, diff, diff));
+            }
+            let s01 = b2.bin(BinOp::FAdd, Ty::F64, partial[0], partial[1]);
+            let s23 = b2.bin(BinOp::FAdd, Ty::F64, partial[2], partial[3]);
+            let dist = b2.bin(BinOp::FAdd, Ty::F64, s01, s23);
+            let cur_best = b2.load(Ty::F64, bd);
+            let better = b2.cmp(CmpOp::FLt, Ty::F64, dist, cur_best);
+            let new_d = b2.select(Ty::F64, better, dist, cur_best);
+            let cur_k = b2.load(Ty::I64, best);
+            let new_k = b2.select(Ty::I64, better, k, cur_k);
+            b2.store(Ty::F64, new_d, bd);
+            b2.store(Ty::I64, new_k, best);
+        });
+        // Accumulate the point into the winner's row of the local
+        // buffer in fixed point.
+        let k = b.load(Ty::I64, best);
+        let row = b.gep(local, k, ((D + 1) * 8) as u32, 0);
+        for d in 0..D {
+            let __h2 = b.gep(pbase, b.iconst(Ty::I64, d), 8, 0);
+            let pv = b.load(Ty::F64, __h2);
+            let scaled = b.bin(BinOp::FMul, Ty::F64, pv, b.fconst(1000.0));
+            let fx = b.cast(CastKind::FpToSi, Ty::I64, scaled);
+            let cell = b.gep(row, b.iconst(Ty::I64, d), 8, 0);
+            let cur = b.load(Ty::I64, cell);
+            let nxt = b.add(Ty::I64, cur, fx);
+            b.store(Ty::I64, nxt, cell);
+        }
+        let cnt = b.gep(row, b.iconst(Ty::I64, D), 8, 0);
+        let cur = b.load(Ty::I64, cnt);
+        let nxt = b.add(Ty::I64, cur, b.iconst(Ty::I64, 1));
+        b.store(Ty::I64, nxt, cnt);
+        if !ns {
+            // Shared variant: flush the batch to the shared accumulators
+            // every 32 points — this is kmeans's true-sharing traffic.
+            let batch = b.bin(BinOp::And, Ty::I64, i, b.iconst(Ty::I64, 31));
+            let flush = b.cmp(CmpOp::Eq, Ty::I64, batch, b.iconst(Ty::I64, 31));
+            b.if_then(flush, |b2| {
+                b2.counted_loop(
+                    b2.iconst(Ty::I64, 0),
+                    b2.iconst(Ty::I64, K * (D + 1)),
+                    |b3, c| {
+                        let lc = b3.gep(local, c, 8, 0);
+                        let v = b3.load(Ty::I64, lc);
+                        let sc = b3.gep(my_sums, c, 8, 0);
+                        b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+                        b3.store(Ty::I64, b3.iconst(Ty::I64, 0), lc);
+                    },
+                );
+            });
+        }
+    });
+    // Final flush of the remainder (shared) or the whole buffer (ns).
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, K * (D + 1)), |b3, c| {
+        let lc = b3.gep(local, c, 8, 0);
+        let v = b3.load(Ty::I64, lc);
+        let sc = b3.gep(my_sums, c, 8, 0);
+        if ns {
+            let cur = b3.load(Ty::I64, sc);
+            let nxt = b3.add(Ty::I64, cur, v);
+            b3.store(Ty::I64, nxt, sc);
+        } else {
+            b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+        }
+    });
+
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(sums), acc_sets * K * (D + 1));
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new(name, m, None, Some("worker"), Some("fini"))
+}
+
+/// `linearreg`: least-squares sums carried in registers.
+///
+/// Paper profile: overhead ≈ 2.16×; 20 % of its native SDCs stem from
+/// corrupted `EFLAGS` (wrong branches), and it is the paper's showcase for
+/// the fault-propagation check — the accumulators live in registers with
+/// the stores hoisted past the loop, exactly Figure 2's pattern.
+pub fn linearreg(scale: Scale) -> Workload {
+    let n = scale.pick(3_000, 50_000);
+    let mut m = Module::new("linearreg");
+    let pts = m.add_global_init("pts", data::random_i64s(4, (n * 2) as usize, 1000));
+    let partial = m.add_global("partial", (MAX_THREADS * 64) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    // Register accumulators via loop phis (4 independent chains).
+    let pre = w.current_block();
+    let header = w.new_block();
+    let body = w.new_block();
+    let exit = w.new_block();
+    w.br(header);
+    w.switch_to(header);
+    let i = w.phi(Ty::I64);
+    let sx = w.phi(Ty::I64);
+    let sy = w.phi(Ty::I64);
+    let sxx = w.phi(Ty::I64);
+    let sxy = w.phi(Ty::I64);
+    let zero = w.iconst(Ty::I64, 0);
+    w.phi_incoming(i, lo, pre);
+    w.phi_incoming(sx, zero, pre);
+    w.phi_incoming(sy, zero, pre);
+    w.phi_incoming(sxx, zero, pre);
+    w.phi_incoming(sxy, zero, pre);
+    let cond = w.cmp(CmpOp::SLt, Ty::I64, i, hi);
+    w.condbr(cond, body, exit);
+    w.switch_to(body);
+    let px = w.gep(Operand::GlobalAddr(pts), i, 16, 0);
+    let x = w.load(Ty::I64, px);
+    let py = w.gep(Operand::GlobalAddr(pts), i, 16, 8);
+    let y = w.load(Ty::I64, py);
+    let nsx = w.add(Ty::I64, sx, x);
+    let nsy = w.add(Ty::I64, sy, y);
+    let xx = w.mul(Ty::I64, x, x);
+    let nsxx = w.add(Ty::I64, sxx, xx);
+    let xy = w.mul(Ty::I64, x, y);
+    let nsxy = w.add(Ty::I64, sxy, xy);
+    let ni = w.add(Ty::I64, i, w.iconst(Ty::I64, 1));
+    w.phi_incoming(i, ni, body);
+    w.phi_incoming(sx, nsx, body);
+    w.phi_incoming(sy, nsy, body);
+    w.phi_incoming(sxx, nsxx, body);
+    w.phi_incoming(sxy, nsxy, body);
+    w.br(header);
+    w.switch_to(exit);
+    // Stores hoisted out of the loop: the fault-propagation target.
+    let rowoff = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 64));
+    let row = w.add(Ty::I64, Operand::GlobalAddr(partial), rowoff);
+    w.store(Ty::I64, sx, row);
+    let r1 = w.gep(row, w.iconst(Ty::I64, 1), 8, 0);
+    w.store(Ty::I64, sy, r1);
+    let r2 = w.gep(row, w.iconst(Ty::I64, 2), 8, 0);
+    w.store(Ty::I64, sxx, r2);
+    let r3 = w.gep(row, w.iconst(Ty::I64, 3), 8, 0);
+    w.store(Ty::I64, sxy, r3);
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    // Merge partials and emit the regression sums plus slope numerator.
+    let acc = f.alloc(f.iconst(Ty::I64, 32));
+    f.counted_loop(f.iconst(Ty::I64, 0), f.iconst(Ty::I64, MAX_THREADS as i64), |b, t| {
+        let row = b.gep(Operand::GlobalAddr(partial), t, 64, 0);
+        for c in 0..4 {
+            let cell = b.gep(row, b.iconst(Ty::I64, c), 8, 0);
+            let v = b.load(Ty::I64, cell);
+            let a = b.gep(acc, b.iconst(Ty::I64, c), 8, 0);
+            let cur = b.load(Ty::I64, a);
+            let nxt = b.add(Ty::I64, cur, v);
+            b.store(Ty::I64, nxt, a);
+        }
+    });
+    let sx = f.load(Ty::I64, acc);
+    let __h3 = f.gep(acc, f.iconst(Ty::I64, 1), 8, 0);
+    let sy = f.load(Ty::I64, __h3);
+    let __h4 = f.gep(acc, f.iconst(Ty::I64, 2), 8, 0);
+    let sxx = f.load(Ty::I64, __h4);
+    let __h5 = f.gep(acc, f.iconst(Ty::I64, 3), 8, 0);
+    let sxy = f.load(Ty::I64, __h5);
+    // slope numerator = n*sxy - sx*sy; denominator = n*sxx - sx*sx.
+    let nn = f.iconst(Ty::I64, n);
+    let a = f.mul(Ty::I64, nn, sxy);
+    let b_ = f.mul(Ty::I64, sx, sy);
+    let num = f.sub(Ty::I64, a, b_);
+    let c = f.mul(Ty::I64, nn, sxx);
+    let d = f.mul(Ty::I64, sx, sx);
+    let den = f.sub(Ty::I64, c, d);
+    let slope_fx = f.mul(Ty::I64, num, f.iconst(Ty::I64, 1000));
+    let slope = f.bin(BinOp::SDiv, Ty::I64, slope_fx, den);
+    f.emit_out(Ty::I64, sx);
+    f.emit_out(Ty::I64, sy);
+    f.emit_out(Ty::I64, slope);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("linearreg", m, None, Some("worker"), Some("fini"))
+}
+
+/// `matrixmul`: dense `C = A × B` with a serial FP accumulation chain.
+///
+/// Paper profile: the best case for HAFT (1.04×) because native ILP is
+/// 0.2 instructions/cycle — the dependent multiply-accumulate chain and
+/// the strided (cache-missing) column loads leave the issue slots idle
+/// for the shadow flow. Its cache-unfriendliness also makes it the
+/// hyper-threading worst case (377× abort increase).
+pub fn matrixmul(scale: Scale) -> Workload {
+    let n = scale.pick(20, 56);
+    let mut m = Module::new("matrixmul");
+    let a = m.add_global_init("a", data::random_f64s(5, (n * n) as usize, -1.0, 1.0));
+    let b = m.add_global_init("b", data::random_f64s(6, (n * n) as usize, -1.0, 1.0));
+    let c = m.add_global("c", (n * n * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let accc = w.alloc(w.iconst(Ty::I64, 8));
+    w.counted_loop(lo, hi, |bi, i| {
+        bi.counted_loop(bi.iconst(Ty::I64, 0), bi.iconst(Ty::I64, n), |bj, j| {
+            bj.store(Ty::F64, bj.fconst(0.0), accc);
+            // Lean k-loop over row/column pointers: the accumulator chain
+            // through memory (load+fadd+store) is the binding dependency,
+            // leaving issue slots mostly idle — matrixmul's native ILP is
+            // the paper's lowest, which is why HAFT is nearly free here.
+            let arow = bj.mul(Ty::I64, i, bj.iconst(Ty::I64, n * 8));
+            let aptr0 = bj.add(Ty::I64, Operand::GlobalAddr(a), arow);
+            let bcol = bj.mul(Ty::I64, j, bj.iconst(Ty::I64, 8));
+            let bptr0 = bj.add(Ty::I64, Operand::GlobalAddr(b), bcol);
+            let aend = bj.add(Ty::I64, aptr0, bj.iconst(Ty::I64, n * 8));
+            let pre = bj.current_block();
+            let header = bj.new_block();
+            let body = bj.new_block();
+            let exit = bj.new_block();
+            bj.br(header);
+            bj.switch_to(header);
+            let aptr = bj.phi(Ty::Ptr);
+            let bptr = bj.phi(Ty::Ptr);
+            bj.phi_incoming(aptr, aptr0, pre);
+            bj.phi_incoming(bptr, bptr0, pre);
+            let more = bj.cmp(CmpOp::ULt, Ty::Ptr, aptr, aend);
+            bj.condbr(more, body, exit);
+            bj.switch_to(body);
+            let av = bj.load(Ty::F64, aptr);
+            let bv = bj.load(Ty::F64, bptr);
+            let prod = bj.bin(BinOp::FMul, Ty::F64, av, bv);
+            let cur = bj.load(Ty::F64, accc);
+            let nxt = bj.bin(BinOp::FAdd, Ty::F64, cur, prod);
+            bj.store(Ty::F64, nxt, accc);
+            let anext = bj.add(Ty::I64, aptr, bj.iconst(Ty::I64, 8));
+            let bnext = bj.add(Ty::I64, bptr, bj.iconst(Ty::I64, n * 8));
+            bj.phi_incoming(aptr, anext, body);
+            bj.phi_incoming(bptr, bnext, body);
+            bj.br(header);
+            bj.switch_to(exit);
+            let crow = bj.mul(Ty::I64, i, bj.iconst(Ty::I64, n));
+            let cidx = bj.add(Ty::I64, crow, j);
+            let v = bj.load(Ty::F64, accc);
+            let __hc = bj.gep(Operand::GlobalAddr(c), cidx, 8, 0);
+            bj.store(Ty::F64, v, __hc);
+        });
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    let acc = f.alloc(f.iconst(Ty::I64, 8));
+    f.store(Ty::I64, f.iconst(Ty::I64, 0), acc);
+    f.counted_loop(f.iconst(Ty::I64, 0), f.iconst(Ty::I64, n * n), |bb, i| {
+        let __h8 = bb.gep(Operand::GlobalAddr(c), i, 8, 0);
+        let v = bb.load(Ty::F64, __h8);
+        let scaled = bb.bin(BinOp::FMul, Ty::F64, v, bb.fconst(1000.0));
+        let fx = bb.cast(CastKind::FpToSi, Ty::I64, scaled);
+        let cur = bb.load(Ty::I64, acc);
+        let mixed = bb.mul(Ty::I64, cur, bb.iconst(Ty::I64, 31));
+        let nxt = bb.add(Ty::I64, mixed, fx);
+        bb.store(Ty::I64, nxt, acc);
+    });
+    let v = f.load(Ty::I64, acc);
+    f.emit_out(Ty::I64, v);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("matrixmul", m, None, Some("worker"), Some("fini"))
+}
+
+/// `pca`: column means and pairwise products into shared accumulators.
+///
+/// Paper profile: 83 % conflict aborts (threads contend on the shared
+/// covariance accumulators); HAFT ≈ 1.78×.
+pub fn pca(scale: Scale) -> Workload {
+    const D: i64 = 6;
+    let n = scale.pick(600, 6_000);
+    let mut m = Module::new("pca");
+    let rows = m.add_global_init("rows", data::random_i64s(8, (n * D) as usize, 100));
+    // D sums + D*D products, shared.
+    let sums = m.add_global("sums", ((D + D * D) * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let local = w.alloc(w.iconst(Ty::I64, (D + D * D) * 8));
+    w.counted_loop(lo, hi, |b, r| {
+        let rbase = b.gep(Operand::GlobalAddr(rows), r, (D * 8) as u32, 0);
+        let mut vals = Vec::new();
+        for d in 0..D {
+            let __h9 = b.gep(rbase, b.iconst(Ty::I64, d), 8, 0);
+            let v = b.load(Ty::I64, __h9);
+            vals.push(v);
+            let cell = b.gep(local, b.iconst(Ty::I64, d), 8, 0);
+            let cur = b.load(Ty::I64, cell);
+            let nxt = b.add(Ty::I64, cur, v);
+            b.store(Ty::I64, nxt, cell);
+        }
+        // Upper-triangle pairwise products into the local buffer.
+        for x in 0..D {
+            for y in x..D {
+                let prod = b.mul(Ty::I64, vals[x as usize], vals[y as usize]);
+                let idx = D + x * D + y;
+                let cell = b.gep(local, b.iconst(Ty::I64, idx), 8, 0);
+                let cur = b.load(Ty::I64, cell);
+                let nxt = b.add(Ty::I64, cur, prod);
+                b.store(Ty::I64, nxt, cell);
+            }
+        }
+        // Flush to the shared accumulators every 16 rows (pca's
+        // conflict-dominated sharing pattern).
+        let batch = b.bin(BinOp::And, Ty::I64, r, b.iconst(Ty::I64, 15));
+        let flush = b.cmp(CmpOp::Eq, Ty::I64, batch, b.iconst(Ty::I64, 15));
+        b.if_then(flush, |b2| {
+            b2.counted_loop(b2.iconst(Ty::I64, 0), b2.iconst(Ty::I64, D + D * D), |b3, c| {
+                let lc = b3.gep(local, c, 8, 0);
+                let v = b3.load(Ty::I64, lc);
+                let sc = b3.gep(Operand::GlobalAddr(sums), c, 8, 0);
+                b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+                b3.store(Ty::I64, b3.iconst(Ty::I64, 0), lc);
+            });
+        });
+    });
+    // Final remainder flush.
+    w.counted_loop(w.iconst(Ty::I64, 0), w.iconst(Ty::I64, D + D * D), |b3, c| {
+        let lc = b3.gep(local, c, 8, 0);
+        let v = b3.load(Ty::I64, lc);
+        let sc = b3.gep(Operand::GlobalAddr(sums), c, 8, 0);
+        b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+    });
+
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(sums), D + D * D);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("pca", m, None, Some("worker"), Some("fini"))
+}
+
+/// `stringmatch`: scan text for fixed keys, byte by byte.
+///
+/// Paper profile: branch-heavy with early exits (overhead ≈ 2.26×,
+/// negligible aborts 0.15 %).
+pub fn stringmatch(scale: Scale) -> Workload {
+    let n = scale.pick(6_000, 60_000);
+    const KEYS: [&[u8]; 4] = [b"the", b"key", b"word", b"haft"];
+    let mut m = Module::new("stringmatch");
+    let mut text = data::random_text(10, n as usize, 32);
+    // Seed some hits.
+    let mut rng = haft_ir::rng::Prng::new(11);
+    for k in KEYS {
+        for _ in 0..(n as usize / 200).max(4) {
+            let pos = rng.below((n as usize - 8) as u64) as usize;
+            text[pos..pos + k.len()].copy_from_slice(k);
+        }
+    }
+    let input = m.add_global_init("input", text);
+    let mut keybytes = Vec::new();
+    for k in KEYS {
+        let mut padded = k.to_vec();
+        padded.resize(8, 0);
+        keybytes.extend_from_slice(&padded);
+    }
+    let keys = m.add_global_init("keys", keybytes);
+    let counts = m.add_global("counts", (MAX_THREADS * 64) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n - 8);
+    let cbase_off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, 64));
+    let cbase = w.add(Ty::I64, Operand::GlobalAddr(counts), cbase_off);
+    let matched = w.alloc(w.iconst(Ty::I64, 8));
+    w.counted_loop(lo, hi, |b, i| {
+        for (ki, k) in KEYS.iter().enumerate() {
+            // Compare key ki at position i with early exit.
+            let keylen = k.len() as i64;
+            b.store(Ty::I64, b.iconst(Ty::I64, 1), matched);
+            b.counted_loop(b.iconst(Ty::I64, 0), b.iconst(Ty::I64, keylen), |b2, j| {
+                let pos = b2.add(Ty::I64, i, j);
+                let __h10 = b2.gep(Operand::GlobalAddr(input), pos, 1, 0);
+                let tc = b2.load(Ty::I8, __h10);
+                let __h11 = b2.gep(
+                        Operand::GlobalAddr(keys),
+                        j,
+                        1,
+                        ki as i64 * 8,
+                    );
+                let kc = b2.load(
+                    Ty::I8,
+                    __h11,
+                );
+                let same = b2.cmp(CmpOp::Eq, Ty::I8, tc, kc);
+                let cur = b2.load(Ty::I64, matched);
+                let upd = b2.select(Ty::I64, same, cur, b2.iconst(Ty::I64, 0));
+                b2.store(Ty::I64, upd, matched);
+            });
+            let hit = b.load(Ty::I64, matched);
+            let is_hit = b.cmp(CmpOp::Eq, Ty::I64, hit, b.iconst(Ty::I64, 1));
+            b.if_then(is_hit, |b2| {
+                let cell = b2.gep(cbase, b2.iconst(Ty::I64, ki as i64), 8, 0);
+                let cur = b2.load(Ty::I64, cell);
+                let nxt = b2.add(Ty::I64, cur, b2.iconst(Ty::I64, 1));
+                b2.store(Ty::I64, nxt, cell);
+            });
+        }
+    });
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(counts), MAX_THREADS * 8);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new("stringmatch", m, None, Some("worker"), Some("fini"))
+}
+
+/// `wordcount`: hash words into a counter table.
+///
+/// Paper profile: the cache-sharing horror story — 14.6 % abort rate,
+/// 94.9 % conflicts. The shared variant packs all bucket counters into a
+/// few cache lines updated by every thread; `wordcount-ns` gives each
+/// thread its own line-padded table (the authors' 47-line rewrite cut
+/// aborts 7×).
+pub fn wordcount(scale: Scale, ns: bool) -> Workload {
+    let n = scale.pick(8_000, 60_000);
+    const BUCKETS: i64 = 1024;
+    let name = if ns { "wordcount-ns" } else { "wordcount" };
+    let mut m = Module::new(name);
+    let input = m.add_global_init("input", data::random_text(12, n as usize, 256));
+    let table_sets: i64 = if ns { MAX_THREADS } else { 1 };
+    let table = m.add_global("table", (table_sets * BUCKETS * 8) as u64);
+
+    let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    w.set_non_local();
+    let tid = w.param(0);
+    let nt = w.param(1);
+    let (lo, hi) = thread_slice(&mut w, tid, nt, n);
+    let tbase = if ns {
+        let off = w.mul(Ty::I64, tid, w.iconst(Ty::I64, BUCKETS * 8));
+        w.add(Ty::I64, Operand::GlobalAddr(table), off)
+    } else {
+        w.mov(Ty::Ptr, Operand::GlobalAddr(table))
+    };
+    // Scan: h = h*31 + c while in a word; on space, count bucket h%B.
+    let pre = w.current_block();
+    let header = w.new_block();
+    let body = w.new_block();
+    let exit = w.new_block();
+    w.br(header);
+    w.switch_to(header);
+    let i = w.phi(Ty::I64);
+    let h = w.phi(Ty::I64);
+    w.phi_incoming(i, lo, pre);
+    w.phi_incoming(h, w.iconst(Ty::I64, 0), pre);
+    let cond = w.cmp(CmpOp::SLt, Ty::I64, i, hi);
+    w.condbr(cond, body, exit);
+    w.switch_to(body);
+    let __h12 = w.gep(Operand::GlobalAddr(input), i, 1, 0);
+    let c = w.load(Ty::I8, __h12);
+    let cw = w.cast(CastKind::ZExt, Ty::I64, c);
+    let is_space = w.cmp(CmpOp::Eq, Ty::I64, cw, w.iconst(Ty::I64, b' ' as i64));
+    let hmul = w.mul(Ty::I64, h, w.iconst(Ty::I64, 31));
+    let hnew = w.add(Ty::I64, hmul, cw);
+    let (wb, nsb) = (w.new_block(), w.new_block());
+    w.condbr(is_space, wb, nsb);
+    // Word boundary: count it (if h != 0).
+    w.switch_to(wb);
+    let nonzero = w.cmp(CmpOp::Ne, Ty::I64, h, w.iconst(Ty::I64, 0));
+    w.if_then(nonzero, |b| {
+        // Hash finalization (fmix-style rounds): real wordcount does
+        // substantial per-word work before touching the table.
+        let mut hf = h;
+        for round in 0..4 {
+            let sh = b.bin(BinOp::LShr, Ty::I64, hf, b.iconst(Ty::I64, 33 - round));
+            let x = b.bin(BinOp::Xor, Ty::I64, hf, sh);
+            hf = b.mul(Ty::I64, x, b.iconst(Ty::I64, 0xff51afd7ed558ccdu64 as i64));
+        }
+        let bucket = b.bin(BinOp::URem, Ty::I64, hf, b.iconst(Ty::I64, BUCKETS));
+        let cell = b.gep(tbase, bucket, 8, 0);
+        if ns {
+            let cur = b.load(Ty::I64, cell);
+            let nxt = b.add(Ty::I64, cur, b.iconst(Ty::I64, 1));
+            b.store(Ty::I64, nxt, cell);
+        } else {
+            b.rmw(RmwOp::Add, Ty::I64, cell, b.iconst(Ty::I64, 1));
+        }
+    });
+    let wb_end = w.current_block();
+    let latch = w.new_block();
+    w.br(latch);
+    w.switch_to(nsb);
+    w.br(latch);
+    w.switch_to(latch);
+    let hnext = w.phi(Ty::I64);
+    w.phi_incoming(hnext, w.iconst(Ty::I64, 0), wb_end);
+    w.phi_incoming(hnext, hnew, nsb);
+    let inext = w.add(Ty::I64, i, w.iconst(Ty::I64, 1));
+    w.phi_incoming(i, inext, latch);
+    w.phi_incoming(h, hnext, latch);
+    w.br(header);
+    w.switch_to(exit);
+    w.ret(None);
+    m.push_func(w.finish());
+
+    let mut f = FunctionBuilder::new("fini", &[], None);
+    f.set_non_local();
+    emit_checksum_i64(&mut f, Operand::GlobalAddr(table), table_sets * BUCKETS);
+    f.ret(None);
+    m.push_func(f.finish());
+    Workload::new(name, m, None, Some("worker"), Some("fini"))
+}

@@ -1,0 +1,132 @@
+//! Workload registry.
+
+use haft_ir::module::Module;
+use haft_vm::RunSpec;
+
+/// Maximum thread count any kernel supports; per-thread regions are sized
+/// for this (the paper's testbed exposes 14 cores / 28 hyper-threads, and
+/// the case studies run up to 16 client threads).
+pub const MAX_THREADS: i64 = 16;
+
+/// Input scale: `Small` for fault-injection campaigns (the paper uses the
+/// smallest inputs there), `Large` for performance runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Large,
+}
+
+impl Scale {
+    /// Picks the scale-appropriate size.
+    pub fn pick(self, small: i64, large: i64) -> i64 {
+        match self {
+            Scale::Small => small,
+            Scale::Large => large,
+        }
+    }
+}
+
+/// A ready-to-run benchmark: a native module plus its phase entry points.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    pub module: Module,
+    pub init: Option<&'static str>,
+    pub worker: Option<&'static str>,
+    pub fini: Option<&'static str>,
+}
+
+impl Workload {
+    /// Builds a workload descriptor (used by the kernel constructors and
+    /// the case-study crate).
+    pub fn new(
+        name: &'static str,
+        module: Module,
+        init: Option<&'static str>,
+        worker: Option<&'static str>,
+        fini: Option<&'static str>,
+    ) -> Self {
+        Workload { name, module, init, worker, fini }
+    }
+
+    /// The entry points as a VM run spec.
+    pub fn run_spec(&self) -> RunSpec<'_> {
+        RunSpec { init: self.init, worker: self.worker, fini: self.fini }
+    }
+}
+
+/// Names of all workloads, in the paper's presentation order.
+pub const WORKLOAD_NAMES: [&str; 17] = [
+    "histogram",
+    "kmeans",
+    "kmeans-ns",
+    "linearreg",
+    "matrixmul",
+    "pca",
+    "stringmatch",
+    "wordcount",
+    "wordcount-ns",
+    "blackscholes",
+    "canneal",
+    "dedup",
+    "ferret",
+    "streamcluster",
+    "swaptions",
+    "vips",
+    "x264",
+];
+
+/// Builds one workload by name.
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
+    Some(match name {
+        "histogram" => crate::phoenix::histogram(scale),
+        "kmeans" => crate::phoenix::kmeans(scale, false),
+        "kmeans-ns" => crate::phoenix::kmeans(scale, true),
+        "linearreg" => crate::phoenix::linearreg(scale),
+        "matrixmul" => crate::phoenix::matrixmul(scale),
+        "pca" => crate::phoenix::pca(scale),
+        "stringmatch" => crate::phoenix::stringmatch(scale),
+        "wordcount" => crate::phoenix::wordcount(scale, false),
+        "wordcount-ns" => crate::phoenix::wordcount(scale, true),
+        "blackscholes" => crate::parsec::blackscholes(scale),
+        "canneal" => crate::parsec::canneal(scale),
+        "dedup" => crate::parsec::dedup(scale),
+        "ferret" => crate::parsec::ferret(scale),
+        "streamcluster" => crate::parsec::streamcluster(scale),
+        "swaptions" => crate::parsec::swaptions(scale),
+        "vips" => crate::parsec::vips(scale),
+        "x264" => crate::parsec::x264(scale),
+        _ => return None,
+    })
+}
+
+/// Builds every workload at the given scale.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    WORKLOAD_NAMES
+        .iter()
+        .map(|n| workload_by_name(n, scale).expect("registered name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        for name in WORKLOAD_NAMES {
+            let w = workload_by_name(name, Scale::Small).expect("builds");
+            assert_eq!(w.name, name);
+            assert!(w.worker.is_some(), "{name} has a parallel phase");
+            assert!(w.fini.is_some(), "{name} emits output");
+        }
+        assert!(workload_by_name("nope", Scale::Small).is_none());
+        assert_eq!(all_workloads(Scale::Small).len(), WORKLOAD_NAMES.len());
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Small.pick(1, 2), 1);
+        assert_eq!(Scale::Large.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Workload integration tests: every kernel verifies, runs, is
+//! schedule-independent, and survives the full HAFT pipeline unchanged.
+
+use haft_ir::verify::verify_module;
+use haft_passes::{harden, HardenConfig};
+use haft_vm::{RunOutcome, Vm, VmConfig};
+use haft_workloads::{all_workloads, workload_by_name, Scale, WORKLOAD_NAMES};
+
+fn cfg(threads: usize, seed: u64) -> VmConfig {
+    VmConfig {
+        n_threads: threads,
+        seed,
+        tx_threshold: 1000,
+        max_instructions: 400_000_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_workloads_verify() {
+    for w in all_workloads(Scale::Small) {
+        verify_module(&w.module).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+    }
+}
+
+#[test]
+fn all_workloads_complete_natively_and_produce_output() {
+    for w in all_workloads(Scale::Small) {
+        let r = Vm::run(&w.module, cfg(2, 1), w.run_spec());
+        assert_eq!(r.outcome, RunOutcome::Completed, "{}", w.name);
+        assert!(!r.output.is_empty(), "{} must emit output", w.name);
+        assert!(r.instructions > 1000, "{} too trivial", w.name);
+    }
+}
+
+#[test]
+fn outputs_are_schedule_independent() {
+    // The fault-injection methodology requires that the reference output
+    // not depend on thread interleaving (the paper dropped fluidanimate
+    // for violating this). Different scheduler seeds must give identical
+    // output.
+    for w in all_workloads(Scale::Small) {
+        let a = Vm::run(&w.module, cfg(3, 101), w.run_spec());
+        let b = Vm::run(&w.module, cfg(3, 202), w.run_spec());
+        assert_eq!(a.outcome, RunOutcome::Completed, "{}", w.name);
+        assert_eq!(a.output, b.output, "{} output depends on schedule", w.name);
+    }
+}
+
+#[test]
+fn hardened_workloads_match_native_output() {
+    for w in all_workloads(Scale::Small) {
+        let native = Vm::run(&w.module, cfg(2, 7), w.run_spec());
+        assert_eq!(native.outcome, RunOutcome::Completed, "{} native", w.name);
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        verify_module(&hardened).unwrap_or_else(|e| panic!("{} hardened: {e:?}", w.name));
+        let r = Vm::run(&hardened, cfg(2, 7), w.run_spec());
+        assert_eq!(r.outcome, RunOutcome::Completed, "{} hardened", w.name);
+        assert_eq!(r.output, native.output, "{} output changed by HAFT", w.name);
+        assert!(
+            r.instructions > native.instructions,
+            "{} hardening must add instructions",
+            w.name
+        );
+        assert!(r.htm.commits > 0, "{} must commit transactions", w.name);
+    }
+}
+
+#[test]
+fn ilr_only_also_preserves_output() {
+    for name in ["histogram", "linearreg", "matrixmul", "wordcount", "x264"] {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let native = Vm::run(&w.module, cfg(2, 9), w.run_spec());
+        let hardened = harden(&w.module, &HardenConfig::ilr_only());
+        let r = Vm::run(&hardened, cfg(2, 9), w.run_spec());
+        assert_eq!(r.outcome, RunOutcome::Completed, "{name}");
+        assert_eq!(r.output, native.output, "{name}");
+    }
+}
+
+#[test]
+fn sharing_variants_differ_in_conflict_profile() {
+    // kmeans (shared accumulators) must see more conflict aborts than
+    // kmeans-ns (privatized) under the same HAFT config.
+    let shared = workload_by_name("kmeans", Scale::Small).unwrap();
+    let ns = workload_by_name("kmeans-ns", Scale::Small).unwrap();
+    let run = |w: &haft_workloads::Workload| {
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        Vm::run(&hardened, cfg(4, 3), w.run_spec())
+    };
+    let rs = run(&shared);
+    let rn = run(&ns);
+    let conflicts = |r: &haft_vm::RunResult| {
+        r.htm.aborts.get(&haft_htm::AbortCause::Conflict).copied().unwrap_or(0)
+    };
+    assert!(
+        conflicts(&rs) > conflicts(&rn),
+        "kmeans conflicts {} vs ns {}",
+        conflicts(&rs),
+        conflicts(&rn)
+    );
+}
+
+#[test]
+fn names_cover_paper_table() {
+    // One entry per Table 2 row (the paper's benchmark column).
+    assert_eq!(WORKLOAD_NAMES.len(), 17);
+}

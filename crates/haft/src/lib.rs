@@ -1,0 +1,85 @@
+//! HAFT — Hardware-Assisted Fault Tolerance.
+//!
+//! A from-scratch Rust reproduction of *"HAFT: Hardware-assisted Fault
+//! Tolerance"* (Kuvaiskii, Faqeh, Bhatotia, Felber, Fetzer — EuroSys
+//! 2016): a compiler-based technique that protects unmodified
+//! multithreaded programs against transient CPU faults by combining
+//! **instruction-level redundancy** (ILR — a duplicated shadow data flow
+//! with checks) for detection with **hardware-transactional-memory
+//! rollback** (TX — whole-program transactification over a TSX-like HTM)
+//! for recovery.
+//!
+//! The workspace contains every substrate the paper depends on, built
+//! from scratch:
+//!
+//! | Crate | Paper counterpart |
+//! |---|---|
+//! | [`ir`] | the LLVM IR layer the passes transform |
+//! | [`passes`] | the ILR and TX passes (the paper's contribution) |
+//! | [`htm`] | Intel TSX/RTM (read/write sets, aborts, capacity) |
+//! | [`vm`] | the Haswell testbed (superscalar cost model + runtime) |
+//! | [`workloads`] | Phoenix 2.0 + PARSEC 3.0 benchmark suites |
+//! | [`faults`] | the Intel SDE + GDB fault injector |
+//! | [`model`] | the PRISM availability model (Figure 5/10) |
+//! | [`apps`] | memcached, LogCabin, Apache, LevelDB, SQLite case studies |
+//!
+//! # Examples
+//!
+//! Harden a program and watch it survive an injected fault:
+//!
+//! ```
+//! use haft::prelude::*;
+//!
+//! // A toy program: sum 0..100 into a global, emit the result.
+//! let mut m = Module::new("demo");
+//! let acc = m.add_global("acc", 8);
+//! let mut f = FunctionBuilder::new("fini", &[], None);
+//! f.set_non_local();
+//! let g = Operand::GlobalAddr(acc);
+//! f.counted_loop(f.iconst(Ty::I64, 0), f.iconst(Ty::I64, 100), |b, i| {
+//!     let cur = b.load(Ty::I64, g);
+//!     let nxt = b.add(Ty::I64, cur, i);
+//!     b.store(Ty::I64, nxt, g);
+//! });
+//! let v = f.load(Ty::I64, g);
+//! f.emit_out(Ty::I64, v);
+//! f.ret(None);
+//! m.push_func(f.finish());
+//!
+//! // Harden with ILR + TX and run with a fault injected mid-trace.
+//! let hardened = harden(&m, &HardenConfig::haft());
+//! let spec = RunSpec { fini: Some("fini"), ..Default::default() };
+//! let clean = Vm::run(&hardened, VmConfig::default(), spec);
+//! let faulty = Vm::run(
+//!     &hardened,
+//!     VmConfig {
+//!         fault: Some(FaultPlan { occurrence: clean.register_writes / 2, xor_mask: 0x40 }),
+//!         ..Default::default()
+//!     },
+//!     spec,
+//! );
+//! assert_eq!(faulty.output, clean.output, "HAFT recovered the fault");
+//! ```
+
+pub use haft_apps as apps;
+pub use haft_faults as faults;
+pub use haft_htm as htm;
+pub use haft_ir as ir;
+pub use haft_model as model;
+pub use haft_passes as passes;
+pub use haft_vm as vm;
+pub use haft_workloads as workloads;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Outcome};
+    pub use haft_ir::builder::FunctionBuilder;
+    pub use haft_ir::inst::{BinOp, CmpOp, Op, Operand};
+    pub use haft_ir::module::Module;
+    pub use haft_ir::types::Ty;
+    pub use haft_ir::verify::verify_module;
+    pub use haft_model::{HaftChain, SystemKind};
+    pub use haft_passes::{harden, HardenConfig, IlrConfig, OptLevel, TxConfig};
+    pub use haft_vm::{FaultPlan, RunOutcome, RunSpec, Vm, VmConfig};
+    pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
+}

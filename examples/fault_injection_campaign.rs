@@ -1,0 +1,40 @@
+//! Run a paper-style fault-injection campaign over one benchmark and
+//! print the Table 1 outcome distribution for native, ILR, and HAFT.
+//!
+//! Run with:
+//! `cargo run --release -p haft --example fault_injection_campaign [bench] [injections]`
+
+use haft::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args.get(1).map(String::as_str).unwrap_or("linearreg");
+    let injections: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+
+    let w = workload_by_name(bench, Scale::Small)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    println!("campaign: {bench}, {injections} injections per configuration\n");
+
+    for (label, hc) in [
+        ("native", None),
+        ("ILR   ", Some(HardenConfig::ilr_only())),
+        ("HAFT  ", Some(HardenConfig::haft())),
+    ] {
+        let module = match &hc {
+            Some(hc) => harden(&w.module, hc),
+            None => w.module.clone(),
+        };
+        let cfg = CampaignConfig {
+            injections,
+            seed: 2016,
+            vm: VmConfig { n_threads: 2, max_instructions: 200_000_000, ..Default::default() },
+            ..Default::default()
+        };
+        let report = run_campaign(&module, w.run_spec(), &cfg);
+        println!("{label} {}", report.summary());
+    }
+    println!(
+        "\nPaper reference (suite means): native SDC 26.2%, ILR SDC 0.8% \
+         (75% fail-stop), HAFT 91.2% correct with SDC 1.1%."
+    );
+}

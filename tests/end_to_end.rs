@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full pipeline from IR through
+//! hardening, execution, fault injection, and the availability model.
+
+use haft::prelude::*;
+
+/// Hardening must preserve semantics for every benchmark and every pass
+/// configuration the evaluation uses.
+#[test]
+fn every_config_preserves_semantics_on_sample_benchmarks() {
+    let spec_names = ["histogram", "linearreg", "dedup"];
+    for name in spec_names {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let cfg = VmConfig { n_threads: 2, ..Default::default() };
+        let native = Vm::run(&w.module, cfg.clone(), w.run_spec());
+        assert_eq!(native.outcome, RunOutcome::Completed);
+        for hc in [
+            HardenConfig::ilr_only(),
+            HardenConfig::tx_only(),
+            HardenConfig::haft(),
+            HardenConfig::at_opt_level(OptLevel::None),
+            HardenConfig::at_opt_level(OptLevel::SharedMem),
+            HardenConfig::at_opt_level(OptLevel::ControlFlow),
+            HardenConfig::at_opt_level(OptLevel::LocalCalls),
+            HardenConfig::at_opt_level(OptLevel::FaultProp),
+        ] {
+            let hardened = harden(&w.module, &hc);
+            verify_module(&hardened).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let r = Vm::run(&hardened, cfg.clone(), w.run_spec());
+            assert_eq!(r.outcome, RunOutcome::Completed, "{name}");
+            assert_eq!(r.output, native.output, "{name} with {hc:?}");
+        }
+    }
+}
+
+/// The headline reliability result: HAFT turns most would-be corruptions
+/// into corrected executions.
+#[test]
+fn haft_reliability_pipeline() {
+    let w = workload_by_name("linearreg", Scale::Small).unwrap();
+    let cfg = CampaignConfig {
+        injections: 120,
+        seed: 99,
+        vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
+        ..Default::default()
+    };
+    let native = run_campaign(&w.module, w.run_spec(), &cfg);
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    let haft = run_campaign(&hardened, w.run_spec(), &cfg);
+
+    assert!(
+        haft.pct(Outcome::Sdc) < native.pct(Outcome::Sdc),
+        "HAFT {} vs native {}",
+        haft.summary(),
+        native.summary()
+    );
+    assert!(haft.pct(Outcome::HaftCorrected) > 20.0, "{}", haft.summary());
+    // Correct group (masked + corrected) dominates, as in the paper's 91.2%.
+    let correct =
+        haft.pct(Outcome::HaftCorrected) + haft.pct(Outcome::Masked);
+    assert!(correct > 50.0, "{}", haft.summary());
+}
+
+/// Coverage (fraction of cycles in transactions) is high for hardened
+/// benchmarks, as in Table 2 (mean 90.2%).
+#[test]
+fn coverage_is_high_for_protected_benchmarks() {
+    for name in ["histogram", "kmeans-ns", "x264"] {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let hardened = harden(&w.module, &HardenConfig::haft());
+        let cfg = VmConfig { n_threads: 2, tx_threshold: 3000, ..Default::default() };
+        let r = Vm::run(&hardened, cfg, w.run_spec());
+        assert!(
+            r.htm.coverage_pct() > 60.0,
+            "{name} coverage {:.1}%",
+            r.htm.coverage_pct()
+        );
+    }
+}
+
+/// Hyper-threading increases abort rates (Table 2, column 4).
+#[test]
+fn hyperthreading_increases_aborts_for_cache_hungry_kernels() {
+    let w = workload_by_name("matrixmul", Scale::Small).unwrap();
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    let base = VmConfig { n_threads: 4, tx_threshold: 5000, ..Default::default() };
+    let r_base = Vm::run(&hardened, base.clone(), w.run_spec());
+    let mut smt = base;
+    smt.htm = haft::htm::HtmConfig { smt: true, ..Default::default() };
+    let r_smt = Vm::run(&hardened, smt, w.run_spec());
+    assert!(
+        r_smt.htm.environment_aborts() >= r_base.htm.environment_aborts(),
+        "smt {} vs base {}",
+        r_smt.htm.environment_aborts(),
+        r_base.htm.environment_aborts()
+    );
+}
+
+/// The model and the measured fault probabilities connect: plugging a
+/// measured campaign into the chain yields a valid availability point.
+#[test]
+fn measured_probabilities_feed_the_model() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    let cfg = CampaignConfig {
+        injections: 60,
+        seed: 4,
+        vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
+        ..Default::default()
+    };
+    let rep = run_campaign(&hardened, w.run_spec(), &cfg);
+    let probs = haft::model::FaultProbabilities {
+        masked: rep.pct(Outcome::Masked) / 100.0,
+        sdc: rep.pct(Outcome::Sdc) / 100.0,
+        crashed: (rep.pct(Outcome::Hang)
+            + rep.pct(Outcome::OsDetected)
+            + rep.pct(Outcome::IlrDetected))
+            / 100.0,
+        haft_correctable: rep.pct(Outcome::HaftCorrected) / 100.0,
+    };
+    let chain = haft::model::HaftChain {
+        probs,
+        rates: haft::model::RecoveryRates::default(),
+    };
+    let pt = chain.evaluate(0.01, 3600.0);
+    assert!(pt.availability > 0.0 && pt.availability <= 1.0);
+    assert!(pt.corruption >= 0.0 && pt.corruption < 1.0);
+}
+
+/// The textual IR round-trips through the parser for real benchmark
+/// modules, including hardened ones. Pass-inserted instructions make the
+/// printed value ids non-sequential, so one parse α-renames them into
+/// canonical order; after that the round-trip is the identity, and the
+/// reparsed module runs identically.
+#[test]
+fn printer_parser_roundtrip_on_hardened_module() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    let text = haft::ir::printer::print_module(&hardened);
+    let parsed = haft::ir::parser::parse_module(&text).expect("parses");
+    verify_module(&parsed).expect("verifies");
+    // Canonical fixed point: print(parse(print(parse(x)))) == print(parse(x)).
+    let canon = haft::ir::printer::print_module(&parsed);
+    let reparsed = haft::ir::parser::parse_module(&canon).expect("reparses");
+    assert_eq!(haft::ir::printer::print_module(&reparsed), canon);
+    // And it still runs identically.
+    let cfg = VmConfig { n_threads: 2, ..Default::default() };
+    let a = Vm::run(&hardened, cfg.clone(), w.run_spec());
+    let b = Vm::run(&parsed, cfg, w.run_spec());
+    assert_eq!(a.output, b.output);
+}
+
+/// Lock elision end to end: hardened lock-based code commits transactions
+/// instead of serializing on locks.
+#[test]
+fn lock_elision_reduces_lock_serialization() {
+    use haft::apps::{memcached, KvSync, WorkloadMix};
+    // Uniform keys (the paper's mcblaster setup): critical sections on
+    // distinct buckets almost never conflict, so eliding their locks is a
+    // pure win. (Zipf-hot traffic on our deliberately small table makes
+    // large elided transactions abort-prone — see EXPERIMENTS.md.)
+    let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Small);
+    let hardened = harden(&w.module, &HardenConfig::haft_with_elision());
+    let base = VmConfig { n_threads: 4, tx_threshold: 500, ..Default::default() };
+    let native = Vm::run(&w.module, base.clone(), w.run_spec());
+    let mut ecfg = base.clone();
+    ecfg.lock_elision = true;
+    let elided = Vm::run(&hardened, ecfg, w.run_spec());
+    assert_eq!(elided.output, native.output);
+    assert!(elided.htm.commits > 0);
+    // Elision must beat the non-elided hardened build.
+    let plain = harden(&w.module, &HardenConfig::haft());
+    let noelision = Vm::run(&plain, base, w.run_spec());
+    assert!(
+        elided.wall_cycles < noelision.wall_cycles,
+        "elision {} vs noelision {}",
+        elided.wall_cycles,
+        noelision.wall_cycles
+    );
+}
