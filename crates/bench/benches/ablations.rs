@@ -27,7 +27,7 @@ fn main() {
             name,
             a,
             b,
-            100.0 * (b - a) as f64 / b as f64
+            100.0 * (b as f64 - a as f64) / b as f64
         );
     }
 
@@ -49,7 +49,7 @@ fn main() {
             name,
             a,
             b,
-            100.0 * (b.saturating_sub(a)) as f64 / b as f64
+            100.0 * (b as f64 - a as f64) / b as f64
         );
     }
 

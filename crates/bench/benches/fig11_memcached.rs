@@ -15,7 +15,9 @@ fn main() {
     let threads: Vec<usize> =
         if haft_bench::fast_mode() { vec![2, 8] } else { vec![1, 2, 4, 8, 16] };
     let ops = 24_000.0;
-    for (mix, label) in [(WorkloadMix::A, "A (50r/50w, zipf)"), (WorkloadMix::D, "D (95r/5w, latest)")] {
+    for (mix, label) in
+        [(WorkloadMix::A, "A (50r/50w, zipf)"), (WorkloadMix::D, "D (95r/5w, latest)")]
+    {
         println!("\n=== Figure 11: memcached workload {label} — throughput (M msg/s) ===");
         println!(
             "{:<10}{:>14}{:>14}{:>14}{:>14}{:>16}",

@@ -6,11 +6,8 @@ use haft_passes::{harden, HardenConfig};
 use haft_workloads::{all_workloads, Scale};
 
 fn main() {
-    let sizes: &[u64] = if haft_bench::fast_mode() {
-        &[500, 5000]
-    } else {
-        &[250, 500, 1000, 3000, 5000]
-    };
+    let sizes: &[u64] =
+        if haft_bench::fast_mode() { &[500, 5000] } else { &[250, 500, 1000, 3000, 5000] };
     let threads = if haft_bench::fast_mode() { 4 } else { 8 };
     let workloads = all_workloads(Scale::Large);
 

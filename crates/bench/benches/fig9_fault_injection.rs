@@ -16,7 +16,11 @@ fn campaign_cfg(injections: u64) -> CampaignConfig {
     }
 }
 
-fn run_for(w: &Workload, hc: Option<&HardenConfig>, injections: u64) -> haft_faults::CampaignReport {
+fn run_for(
+    w: &Workload,
+    hc: Option<&HardenConfig>,
+    injections: u64,
+) -> haft_faults::CampaignReport {
     let module = match hc {
         Some(hc) => harden(&w.module, hc),
         None => w.module.clone(),
@@ -31,11 +35,9 @@ fn main() {
     // The paper skips vips for fault injection (too slow under SDE); we
     // keep it — the simulator is fast enough.
     for w in all_workloads(Scale::Small) {
-        for (label, hc) in [
-            ("N", None),
-            ("I", Some(HardenConfig::ilr_only())),
-            ("H", Some(HardenConfig::haft())),
-        ] {
+        for (label, hc) in
+            [("N", None), ("I", Some(HardenConfig::ilr_only())), ("H", Some(HardenConfig::haft()))]
+        {
             let r = run_for(&w, hc.as_ref(), injections);
             println!("{:<16}{:<6} {}", w.name, label, r.summary());
         }
@@ -55,5 +57,9 @@ fn main() {
     let mc = memcached(WorkloadMix::A, KvSync::Lock, Scale::Small);
     let native = run_for(&mc, None, injections);
     let hafted = run_for(&mc, Some(&HardenConfig::haft_with_elision()), injections);
-    println!("native SDC: {:.2}%   HAFT SDC: {:.2}%", native.pct(Outcome::Sdc), hafted.pct(Outcome::Sdc));
+    println!(
+        "native SDC: {:.2}%   HAFT SDC: {:.2}%",
+        native.pct(Outcome::Sdc),
+        hafted.pct(Outcome::Sdc)
+    );
 }

@@ -8,7 +8,9 @@ use haft_workloads::{all_workloads, Scale};
 
 fn main() {
     let threads = if haft_bench::fast_mode() { 4 } else { 8 };
-    println!("\n=== Table 2: component overheads, HT abort factor, coverage ({threads} threads) ===");
+    println!(
+        "\n=== Table 2: component overheads, HT abort factor, coverage ({threads} threads) ==="
+    );
     header(&["ILR", "TX", "HAFT", "HTx", "Cov%"]);
     let workloads = all_workloads(Scale::Large);
     let mut means = [0.0; 5];

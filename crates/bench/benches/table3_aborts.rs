@@ -8,7 +8,9 @@ use haft_workloads::{all_workloads, Scale};
 
 fn main() {
     let threads = if haft_bench::fast_mode() { 4 } else { 8 };
-    println!("\n=== Table 3: abort rate and causes at transaction size 5000 ({threads} threads) ===");
+    println!(
+        "\n=== Table 3: abort rate and causes at transaction size 5000 ({threads} threads) ==="
+    );
     header(&["rate%", "capac%", "confl%", "other%"]);
     for w in all_workloads(Scale::Large) {
         let hardened = harden(&w.module, &HardenConfig::haft());

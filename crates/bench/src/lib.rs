@@ -81,8 +81,8 @@ mod tests {
 
     #[test]
     fn overhead_runs_end_to_end() {
-        let w = haft_workloads::workload_by_name("histogram", haft_workloads::Scale::Small)
-            .unwrap();
+        let w =
+            haft_workloads::workload_by_name("histogram", haft_workloads::Scale::Small).unwrap();
         let (oh, r) = overhead(&w, &HardenConfig::haft(), 2);
         assert!(oh > 1.0, "hardening must cost something: {oh}");
         assert!(r.htm.commits > 0);

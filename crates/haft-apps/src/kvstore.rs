@@ -176,12 +176,10 @@ pub fn memcached(mix: WorkloadMix, sync: KvSync, scale: Scale) -> Workload {
         match sync {
             KvSync::Lock => {
                 b.lock(lock_addr);
-                let read_path = |b: &mut FunctionBuilder| -> Operand {
-                    emit_handler(b, false).into()
-                };
-                let write_path = |b: &mut FunctionBuilder| -> Operand {
-                    emit_handler(b, true).into()
-                };
+                let read_path =
+                    |b: &mut FunctionBuilder| -> Operand { emit_handler(b, false).into() };
+                let write_path =
+                    |b: &mut FunctionBuilder| -> Operand { emit_handler(b, true).into() };
                 let got = b.if_then_else(Ty::I64, is_read, read_path, write_path);
                 b.unlock(lock_addr);
                 let cur = b.load(Ty::I64, my_acc);
@@ -255,7 +253,7 @@ pub fn memcached(mix: WorkloadMix, sync: KvSync, scale: Scale) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use haft_vm::{RunOutcome, RunSpec, Vm, VmConfig};
+    use haft_vm::{RunOutcome, Vm, VmConfig};
 
     fn run(w: &Workload, threads: usize, seed: u64) -> haft_vm::RunResult {
         let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };

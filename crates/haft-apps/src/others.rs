@@ -19,10 +19,8 @@ use crate::ycsb::{WorkloadMix, YcsbGen};
 pub fn logcabin(scale: Scale) -> Workload {
     let n = scale.pick(800, 6_000);
     let mut m = Module::new("logcabin");
-    let values = m.add_global_init(
-        "values",
-        haft_workloads::data::random_i64s(90, n as usize, 1 << 30),
-    );
+    let values =
+        m.add_global_init("values", haft_workloads::data::random_i64s(90, n as usize, 1 << 30));
     let log = m.add_global("log", (n * 16 + 64) as u64);
     let meta = m.add_global("meta", 64); // [count, chain-hash].
     let lock = m.add_global("lock", 64);
@@ -85,10 +83,8 @@ pub fn apache(scale: Scale) -> Workload {
     const PAGE: i64 = 1024;
     let mut m = Module::new("apache");
     let page = m.add_global_init("page", haft_workloads::data::random_bytes(91, PAGE as usize));
-    let reqs = m.add_global_init(
-        "reqs",
-        haft_workloads::data::random_i64s(92, requests as usize, 1 << 16),
-    );
+    let reqs = m
+        .add_global_init("reqs", haft_workloads::data::random_i64s(92, requests as usize, 1 << 16));
     let outbuf = m.add_global("outbuf", (MAX_THREADS as u64) * PAGE as u64);
     let acc = m.add_global("acc", (MAX_THREADS * 64) as u64);
 
@@ -129,11 +125,7 @@ pub fn apache(scale: Scale) -> Workload {
         let is_get = b.cmp(CmpOp::Ne, Ty::I64, method, b.iconst(Ty::I64, 3));
         b.if_then(is_get, |b2| {
             let sum = b2
-                .call(
-                    ext_id,
-                    &[Operand::GlobalAddr(page), my_buf.into()],
-                    Some(Ty::I64),
-                )
+                .call(ext_id, &[Operand::GlobalAddr(page), my_buf.into()], Some(Ty::I64))
                 .unwrap();
             let cur = b2.load(Ty::I64, my_acc);
             let nxt = b2.add(Ty::I64, cur, sum);
@@ -261,7 +253,7 @@ pub fn sqlite(mix: WorkloadMix, scale: Scale) -> Workload {
         rows.extend_from_slice(&(i.wrapping_mul(40503)).to_le_bytes());
     }
     let rows = m.add_global_init("rows", rows);
-    let mut gen = YcsbGen::new(0x5E1,  (ROWS as u64) * 3);
+    let mut gen = YcsbGen::new(0x5E1, (ROWS as u64) * 3);
     let ops = m.add_global_init("ops", gen.generate_encoded(mix, n_ops as usize));
     let acc = m.add_global("acc", (MAX_THREADS * 64) as u64);
 
@@ -309,15 +301,9 @@ pub fn sqlite(mix: WorkloadMix, scale: Scale) -> Workload {
         // Dispatch via function pointer: reads use op_select, writes
         // op_update. HAFT must treat the callee as unknown.
         let is_read = b.cmp(CmpOp::Eq, Ty::I64, kind, b.iconst(Ty::I64, 0));
-        let fp = b.select(
-            Ty::Ptr,
-            is_read,
-            Operand::FuncAddr(sel_id),
-            Operand::FuncAddr(upd_id),
-        );
-        let r = b
-            .call_indirect(fp, &[key.into(), Operand::GlobalAddr(rows)], Some(Ty::I64))
-            .unwrap();
+        let fp = b.select(Ty::Ptr, is_read, Operand::FuncAddr(sel_id), Operand::FuncAddr(upd_id));
+        let r =
+            b.call_indirect(fp, &[key.into(), Operand::GlobalAddr(rows)], Some(Ty::I64)).unwrap();
         let cur = b.load(Ty::I64, my_acc);
         let nxt = b.add(Ty::I64, cur, r);
         b.store(Ty::I64, nxt, my_acc);
@@ -337,7 +323,7 @@ pub fn sqlite(mix: WorkloadMix, scale: Scale) -> Workload {
 mod tests {
     use super::*;
     use haft_passes::{harden, HardenConfig};
-    use haft_vm::{RunOutcome, RunSpec, Vm, VmConfig};
+    use haft_vm::{RunOutcome, Vm, VmConfig};
 
     fn run(w: &Workload, threads: usize, seed: u64) -> haft_vm::RunResult {
         let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };
@@ -409,10 +395,7 @@ mod tests {
         };
         let sq_oh = oh(&sq);
         let ldb_oh = oh(&ldb);
-        assert!(
-            sq_oh > ldb_oh * 1.5,
-            "sqlite {sq_oh} should far exceed leveldb {ldb_oh}"
-        );
+        assert!(sq_oh > ldb_oh * 1.5, "sqlite {sq_oh} should far exceed leveldb {ldb_oh}");
     }
 
     #[test]

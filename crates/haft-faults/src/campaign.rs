@@ -45,21 +45,14 @@ pub fn run_campaign(module: &Module, spec: RunSpec<'_>, cfg: &CampaignConfig) ->
     let mut ref_cfg = cfg.vm.clone();
     ref_cfg.fault = None;
     let golden = Vm::run(module, ref_cfg.clone(), spec);
-    assert_eq!(
-        golden.outcome,
-        RunOutcome::Completed,
-        "reference run must complete cleanly"
-    );
+    assert_eq!(golden.outcome, RunOutcome::Completed, "reference run must complete cleanly");
     let population = golden.register_writes.max(1);
 
     // Step 2: plan the injections (uniform over the dynamic trace, random
     // XOR masks — the paper's weighted-random selection).
     let mut rng = Prng::new(cfg.seed);
     let plans: Vec<FaultPlan> = (0..cfg.injections)
-        .map(|_| FaultPlan {
-            occurrence: rng.below(population),
-            xor_mask: rng.next_u64(),
-        })
+        .map(|_| FaultPlan { occurrence: rng.below(population), xor_mask: rng.next_u64() })
         .collect();
 
     // Step 3: execute and classify, fanned out over OS threads.
@@ -137,11 +130,7 @@ mod tests {
             injections: n,
             seed: 42,
             parallelism: 2,
-            vm: VmConfig {
-                n_threads: 1,
-                max_instructions: 5_000_000,
-                ..Default::default()
-            },
+            vm: VmConfig { n_threads: 1, max_instructions: 5_000_000, ..Default::default() },
         }
     }
 

@@ -107,10 +107,7 @@ mod tests {
         let golden = vec![1, 2, 3];
         assert_eq!(classify(&result(RunOutcome::Hang, vec![], 0), &golden), Outcome::Hang);
         assert_eq!(
-            classify(
-                &result(RunOutcome::Trapped(haft_vm::Trap::DivByZero), vec![], 0),
-                &golden
-            ),
+            classify(&result(RunOutcome::Trapped(haft_vm::Trap::DivByZero), vec![], 0), &golden),
             Outcome::OsDetected
         );
         assert_eq!(

@@ -28,11 +28,7 @@ impl CampaignReport {
 
     /// Percentage of runs in a Table-1 group.
     pub fn group_pct(&self, g: Group) -> f64 {
-        Outcome::ALL
-            .iter()
-            .filter(|o| o.group() == g)
-            .map(|o| self.pct(*o))
-            .sum()
+        Outcome::ALL.iter().filter(|o| o.group() == g).map(|o| self.pct(*o)).sum()
     }
 
     /// Detection rate: faults that did not result in SDC, as a percentage
@@ -52,10 +48,8 @@ impl CampaignReport {
 
     /// One-line summary used by the bench harness.
     pub fn summary(&self) -> String {
-        let cols: Vec<String> = Outcome::ALL
-            .iter()
-            .map(|o| format!("{} {:5.1}%", o.label(), self.pct(*o)))
-            .collect();
+        let cols: Vec<String> =
+            Outcome::ALL.iter().map(|o| format!("{} {:5.1}%", o.label(), self.pct(*o))).collect();
         format!("[{} runs] {}", self.runs, cols.join("  "))
     }
 }

@@ -32,7 +32,9 @@ impl AbortCause {
         match self {
             AbortCause::Capacity => Some(Table3Bucket::Capacity),
             AbortCause::Conflict => Some(Table3Bucket::Conflict),
-            AbortCause::Unfriendly | AbortCause::Timer | AbortCause::Spontaneous
+            AbortCause::Unfriendly
+            | AbortCause::Timer
+            | AbortCause::Spontaneous
             | AbortCause::Explicit => Some(Table3Bucket::Other),
             AbortCause::IlrDetected => None,
         }

@@ -32,11 +32,7 @@ impl HtmStats {
     /// Aborts excluding explicit ILR-recovery aborts (the paper's Table 3
     /// reports only environment-caused aborts).
     pub fn environment_aborts(&self) -> u64 {
-        self.aborts
-            .iter()
-            .filter(|(c, _)| c.table3_bucket().is_some())
-            .map(|(_, n)| *n)
-            .sum()
+        self.aborts.iter().filter(|(c, _)| c.table3_bucket().is_some()).map(|(_, n)| *n).sum()
     }
 
     /// Abort rate in percent: aborts / started, as the paper reports it.

@@ -209,10 +209,7 @@ impl Htm {
     /// Logical threads hosted on a physical core.
     fn core_threads(&self, core: usize) -> Vec<usize> {
         if self.cfg.smt {
-            [core * 2, core * 2 + 1]
-                .into_iter()
-                .filter(|&t| t < self.threads.len())
-                .collect()
+            [core * 2, core * 2 + 1].into_iter().filter(|&t| t < self.threads.len()).collect()
         } else {
             vec![core]
         }
@@ -367,6 +364,7 @@ mod tests {
         let mut h = Htm::new(cfg, 2);
         h.begin(0, 0);
         h.access(0, 0, 8, AccessKind::Write); // Line 0 in write set.
+
         // The hyper-thread partner streams through the shared set.
         h.access(1, 64, 8, AccessKind::Read);
         h.access(1, 128, 8, AccessKind::Read);

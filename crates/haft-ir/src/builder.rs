@@ -91,7 +91,13 @@ impl FunctionBuilder {
 
     // --- compute ---------------------------------------------------------------
 
-    pub fn bin(&mut self, op: BinOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> ValueId {
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> ValueId {
         self.emit_valued(Op::Bin { op, ty, a: a.into(), b: b.into() })
     }
 
@@ -111,7 +117,13 @@ impl FunctionBuilder {
         self.emit_valued(Op::Un { op, ty, a: a.into() })
     }
 
-    pub fn cmp(&mut self, op: CmpOp, ty: Ty, a: impl Into<Operand>, b: impl Into<Operand>) -> ValueId {
+    pub fn cmp(
+        &mut self,
+        op: CmpOp,
+        ty: Ty,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> ValueId {
         self.emit_valued(Op::Cmp { op, ty, a: a.into(), b: b.into() })
     }
 
@@ -183,7 +195,13 @@ impl FunctionBuilder {
         self.emit_op(Op::Store { ty, val: val.into(), addr: addr.into(), atomic: true });
     }
 
-    pub fn rmw(&mut self, op: RmwOp, ty: Ty, addr: impl Into<Operand>, val: impl Into<Operand>) -> ValueId {
+    pub fn rmw(
+        &mut self,
+        op: RmwOp,
+        ty: Ty,
+        addr: impl Into<Operand>,
+        val: impl Into<Operand>,
+    ) -> ValueId {
         self.emit_valued(Op::Rmw { op, ty, addr: addr.into(), val: val.into() })
     }
 
@@ -216,7 +234,12 @@ impl FunctionBuilder {
         self.emit_op(Op::CondBr { cond: cond.into(), t, f });
     }
 
-    pub fn call(&mut self, callee: FuncId, args: &[Operand], ret_ty: Option<Ty>) -> Option<ValueId> {
+    pub fn call(
+        &mut self,
+        callee: FuncId,
+        args: &[Operand],
+        ret_ty: Option<Ty>,
+    ) -> Option<ValueId> {
         self.emit_op(Op::Call { callee: Callee::Direct(callee), args: args.to_vec(), ret_ty })
     }
 
@@ -226,7 +249,11 @@ impl FunctionBuilder {
         args: &[Operand],
         ret_ty: Option<Ty>,
     ) -> Option<ValueId> {
-        self.emit_op(Op::Call { callee: Callee::Indirect(target.into()), args: args.to_vec(), ret_ty })
+        self.emit_op(Op::Call {
+            callee: Callee::Indirect(target.into()),
+            args: args.to_vec(),
+            ret_ty,
+        })
     }
 
     pub fn ret(&mut self, val: Option<Operand>) {

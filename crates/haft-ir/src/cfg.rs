@@ -19,8 +19,7 @@ impl Cfg {
     /// Computes the CFG of `f`.
     pub fn compute(f: &Function) -> Self {
         let n = f.blocks.len();
-        let succs: Vec<Vec<BlockId>> =
-            (0..n).map(|i| f.successors(BlockId(i as u32))).collect();
+        let succs: Vec<Vec<BlockId>> = (0..n).map(|i| f.successors(BlockId(i as u32))).collect();
         let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         for (b, ss) in succs.iter().enumerate() {
             for s in ss {
@@ -70,7 +69,7 @@ impl Cfg {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::inst::CmpOp;
+
     use crate::types::Ty;
 
     /// entry -> header <-> body, header -> exit.

@@ -94,12 +94,7 @@ mod tests {
         let mut fb = FunctionBuilder::new("d", &[Ty::I64], Some(Ty::I64));
         let a = fb.param(0);
         let c = fb.cmp(CmpOp::SGt, Ty::I64, a, fb.iconst(Ty::I64, 0));
-        let r = fb.if_then_else(
-            Ty::I64,
-            c,
-            |b| b.iconst(Ty::I64, 1),
-            |b| b.iconst(Ty::I64, 2),
-        );
+        let r = fb.if_then_else(Ty::I64, c, |b| b.iconst(Ty::I64, 1), |b| b.iconst(Ty::I64, 2));
         fb.ret(Some(r.into()));
         fb.finish()
     }

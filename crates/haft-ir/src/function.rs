@@ -238,12 +238,8 @@ mod tests {
         let mut f = Function::new("f", &[Ty::I64, Ty::I64], Some(Ty::I64));
         let a = f.param_value(0);
         let b = f.param_value(1);
-        let (add, sum) = f.create_inst(Op::Bin {
-            op: BinOp::Add,
-            ty: Ty::I64,
-            a: a.into(),
-            b: b.into(),
-        });
+        let (add, sum) =
+            f.create_inst(Op::Bin { op: BinOp::Add, ty: Ty::I64, a: a.into(), b: b.into() });
         f.push_to_block(f.entry(), add);
         let (ret, _) = f.create_inst(Op::Ret { val: Some(sum.unwrap().into()) });
         f.push_to_block(f.entry(), ret);

@@ -332,10 +332,7 @@ impl Op {
 
     /// Returns true for block terminators.
     pub fn is_terminator(&self) -> bool {
-        matches!(
-            self,
-            Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. } | Op::TxAbort { .. }
-        )
+        matches!(self, Op::Br { .. } | Op::CondBr { .. } | Op::Ret { .. } | Op::TxAbort { .. })
     }
 
     /// Returns true for memory-touching instructions.
@@ -563,9 +560,7 @@ mod tests {
         assert!(Op::Load { ty: Ty::I64, addr: v(0), atomic: true }.is_atomic());
         assert!(!Op::Load { ty: Ty::I64, addr: v(0), atomic: false }.is_atomic());
         assert!(Op::Rmw { op: RmwOp::Add, ty: Ty::I64, addr: v(0), val: v(1) }.is_atomic());
-        assert!(
-            Op::CmpXchg { ty: Ty::I64, addr: v(0), expected: v(1), new: v(2) }.is_atomic()
-        );
+        assert!(Op::CmpXchg { ty: Ty::I64, addr: v(0), expected: v(1), new: v(2) }.is_atomic());
     }
 
     #[test]
@@ -574,8 +569,14 @@ mod tests {
             Op::Cmp { op: CmpOp::Eq, ty: Ty::I64, a: v(0), b: v(1) }.result_ty(),
             Some(Ty::I1)
         );
-        assert_eq!(Op::Gep { base: v(0), index: v(1), scale: 1, offset: 0 }.result_ty(), Some(Ty::Ptr));
-        assert_eq!(Op::Store { ty: Ty::I64, val: v(0), addr: v(1), atomic: false }.result_ty(), None);
+        assert_eq!(
+            Op::Gep { base: v(0), index: v(1), scale: 1, offset: 0 }.result_ty(),
+            Some(Ty::Ptr)
+        );
+        assert_eq!(
+            Op::Store { ty: Ty::I64, val: v(0), addr: v(1), atomic: false }.result_ty(),
+            None
+        );
         assert_eq!(Op::ThreadId.result_ty(), Some(Ty::I64));
     }
 

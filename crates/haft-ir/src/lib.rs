@@ -43,6 +43,8 @@ pub mod types;
 pub mod verify;
 
 pub use function::{BlockId, Function, InstId, ValueDef, ValueId};
-pub use inst::{AbortCode, BinOp, Callee, CastKind, CmpOp, Inst, InstMeta, Op, Operand, RmwOp, UnOp};
+pub use inst::{
+    AbortCode, BinOp, Callee, CastKind, CmpOp, Inst, InstMeta, Op, Operand, RmwOp, UnOp,
+};
 pub use module::{FuncId, Global, GlobalId, GlobalInit, Module};
 pub use types::Ty;

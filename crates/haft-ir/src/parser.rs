@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 
 use crate::function::{BlockId, Function, ValueId};
-use crate::inst::{
-    AbortCode, BinOp, Callee, CastKind, CmpOp, InstMeta, Op, Operand, RmwOp, UnOp,
-};
+use crate::inst::{AbortCode, BinOp, Callee, CastKind, CmpOp, InstMeta, Op, Operand, RmwOp, UnOp};
 use crate::module::{FuncId, GlobalId, GlobalInit, Module};
 use crate::types::Ty;
 
@@ -71,10 +69,8 @@ impl<'a> Parser<'a> {
         let mut m = Module::new("");
         while let Some((ln, line)) = self.next_line() {
             if let Some(rest) = line.strip_prefix("module ") {
-                m.name = parse_quoted(rest).ok_or(ParseError {
-                    line: ln,
-                    msg: "expected module \"name\"".into(),
-                })?;
+                m.name = parse_quoted(rest)
+                    .ok_or(ParseError { line: ln, msg: "expected module \"name\"".into() })?;
             } else if let Some(rest) = line.strip_prefix("global ") {
                 let (name, rest) = split_quoted(rest)
                     .ok_or(ParseError { line: ln, msg: "expected global \"name\"".into() })?;
@@ -120,12 +116,10 @@ impl<'a> Parser<'a> {
         let (name, rest) = split_quoted(rest)
             .ok_or(ParseError { line: ln, msg: "expected func \"name\"".into() })?;
         let rest = rest.trim();
-        let open = rest
-            .find('(')
-            .ok_or(ParseError { line: ln, msg: "expected parameter list".into() })?;
-        let close = rest
-            .find(')')
-            .ok_or(ParseError { line: ln, msg: "unclosed parameter list".into() })?;
+        let open =
+            rest.find('(').ok_or(ParseError { line: ln, msg: "expected parameter list".into() })?;
+        let close =
+            rest.find(')').ok_or(ParseError { line: ln, msg: "unclosed parameter list".into() })?;
         let params: Vec<Ty> = rest[open + 1..close]
             .split(',')
             .map(str::trim)
@@ -139,9 +133,8 @@ impl<'a> Parser<'a> {
         let mut toks = tail.split_whitespace().peekable();
         if toks.peek() == Some(&"->") {
             toks.next();
-            let t = toks
-                .next()
-                .ok_or(ParseError { line: ln, msg: "expected return type".into() })?;
+            let t =
+                toks.next().ok_or(ParseError { line: ln, msg: "expected return type".into() })?;
             ret_ty =
                 Some(parse_ty(t).ok_or(ParseError { line: ln, msg: format!("bad type {t}") })?);
         }
@@ -306,12 +299,7 @@ impl<'a> Parser<'a> {
                 if parts.len() != 3 {
                     return self.err(ln, "select needs 3 operands");
                 }
-                Op::Select {
-                    ty,
-                    c: opnd(parts[0])?,
-                    t: opnd(parts[1])?,
-                    f: opnd(parts[2])?,
-                }
+                Op::Select { ty, c: opnd(parts[0])?, t: opnd(parts[1])?, f: opnd(parts[2])? }
             }
             "gep" => {
                 let parts = commas(rest);
@@ -401,10 +389,10 @@ impl<'a> Parser<'a> {
                     .collect::<Result<_, _>>()?;
                 let tail = rest[close + 1..].trim();
                 let ret_ty = if let Some(t) = tail.strip_prefix("->") {
-                    Some(parse_ty(t.trim()).ok_or(ParseError {
-                        line: ln,
-                        msg: format!("bad return type {t}"),
-                    })?)
+                    Some(
+                        parse_ty(t.trim())
+                            .ok_or(ParseError { line: ln, msg: format!("bad return type {t}") })?,
+                    )
                 } else {
                     None
                 };
@@ -477,9 +465,7 @@ fn parse_hex(s: &str) -> Option<Vec<u8>> {
     if s.len() % 2 != 0 {
         return None;
     }
-    (0..s.len() / 2)
-        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
-        .collect()
+    (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()).collect()
 }
 
 fn parse_ty(s: &str) -> Option<Ty> {
@@ -627,7 +613,7 @@ fn commas(s: &str) -> Vec<&str> {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use crate::printer::{print_func, print_module};
+    use crate::printer::print_module;
     use crate::verify::verify_module;
 
     fn roundtrip(m: &Module) {
@@ -743,7 +729,8 @@ mod tests {
 
     #[test]
     fn meta_flags_roundtrip() {
-        let text = "module \"m\"\nfunc \"f\" () {\nb0:\n  %0 = cmp ne i64 1:i64, 2:i64 !check\n  ret\n}\n";
+        let text =
+            "module \"m\"\nfunc \"f\" () {\nb0:\n  %0 = cmp ne i64 1:i64, 2:i64 !check\n  ret\n}\n";
         let m = parse_module(text).unwrap();
         assert!(m.funcs[0].inst(crate::function::InstId(0)).meta.ilr_check);
         let printed = print_module(&m);

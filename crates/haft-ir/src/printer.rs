@@ -161,10 +161,8 @@ fn print_inst(f: &Function, idx: usize, inst: &Inst) -> String {
             format!("gep {}, {}, {}, {}", operand(base), operand(index), scale, offset)
         }
         Op::Phi { ty, incomings } => {
-            let incs: Vec<String> = incomings
-                .iter()
-                .map(|(v, b)| format!("[{}, {}]", operand(v), block(*b)))
-                .collect();
+            let incs: Vec<String> =
+                incomings.iter().map(|(v, b)| format!("[{}, {}]", operand(v), block(*b))).collect();
             format!("phi {} {}", ty, incs.join(", "))
         }
         Op::Load { ty, addr, atomic } => {

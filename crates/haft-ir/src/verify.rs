@@ -21,11 +21,8 @@ pub struct FnSig {
 
 /// Verifies a whole module; returns all diagnostics on failure.
 pub fn verify_module(m: &Module) -> Result<(), Vec<String>> {
-    let sigs: Vec<FnSig> = m
-        .funcs
-        .iter()
-        .map(|f| FnSig { params: f.params.clone(), ret_ty: f.ret_ty })
-        .collect();
+    let sigs: Vec<FnSig> =
+        m.funcs.iter().map(|f| FnSig { params: f.params.clone(), ret_ty: f.ret_ty }).collect();
     let mut errs = Vec::new();
     for f in &m.funcs {
         if let Err(mut e) = verify_func(f, &sigs, &m.globals) {
@@ -183,9 +180,7 @@ pub fn verify_func(f: &Function, sigs: &[FnSig], globals: &[Global]) -> Result<(
                 Op::Call { callee, args, ret_ty } => {
                     if let Callee::Direct(fid) = callee {
                         match sigs.get(fid.0 as usize) {
-                            None => {
-                                errs.push(format!("{name}: call to bogus function {fid:?}"))
-                            }
+                            None => errs.push(format!("{name}: call to bogus function {fid:?}")),
                             Some(sig) => {
                                 if sig.params.len() != args.len() {
                                     errs.push(format!(
@@ -272,9 +267,8 @@ fn expect_ty(f: &Function, name: &str, o: &Operand, want: Ty, errs: &mut Vec<Str
     let got = f.operand_ty(o);
     // Pointer/integer immediates interoperate: an `i64` immediate may feed
     // a `ptr` slot and vice versa (address arithmetic).
-    let compatible = got == want
-        || (got == Ty::Ptr && want == Ty::I64)
-        || (got == Ty::I64 && want == Ty::Ptr);
+    let compatible =
+        got == want || (got == Ty::Ptr && want == Ty::I64) || (got == Ty::I64 && want == Ty::Ptr);
     if !compatible {
         errs.push(format!("{name}: operand {o:?} has type {got}, expected {want}"));
     }

@@ -58,11 +58,8 @@ impl Ctmc {
     pub fn occupancy(&self, pi0: &[f64], horizon: f64) -> Vec<f64> {
         assert_eq!(pi0.len(), self.n);
         assert!(horizon > 0.0);
-        let lambda = (0..self.n)
-            .map(|i| -self.q[i * self.n + i])
-            .fold(0.0f64, f64::max)
-            .max(1e-12)
-            * 1.0001;
+        let lambda =
+            (0..self.n).map(|i| -self.q[i * self.n + i]).fold(0.0f64, f64::max).max(1e-12) * 1.0001;
         let lt = lambda * horizon;
 
         // P = I + Q/Λ.
@@ -119,11 +116,8 @@ impl Ctmc {
     /// Steady-state distribution via power iteration on the uniformized
     /// chain.
     pub fn steady_state(&self) -> Vec<f64> {
-        let lambda = (0..self.n)
-            .map(|i| -self.q[i * self.n + i])
-            .fold(0.0f64, f64::max)
-            .max(1e-12)
-            * 1.0001;
+        let lambda =
+            (0..self.n).map(|i| -self.q[i * self.n + i]).fold(0.0f64, f64::max).max(1e-12) * 1.0001;
         let mut v = vec![1.0 / self.n as f64; self.n];
         for _ in 0..200_000 {
             let mut next = vec![0.0; self.n];

@@ -162,10 +162,7 @@ mod tests {
         let chain = HaftChain::paper(SystemKind::Haft);
         let pts = chain.sweep(0.00028, 1.0, 8, HOUR);
         for w in pts.windows(2) {
-            assert!(
-                w[1].availability <= w[0].availability + 1e-9,
-                "monotone: {pts:?}"
-            );
+            assert!(w[1].availability <= w[0].availability + 1e-9, "monotone: {pts:?}");
         }
     }
 
@@ -195,10 +192,7 @@ mod tests {
         for rate in [0.001, 0.01, 0.1, 1.0] {
             let n = native.evaluate(rate, HOUR);
             let h = haft.evaluate(rate, HOUR);
-            assert!(
-                h.availability > n.availability,
-                "rate {rate}: {h:?} vs {n:?}"
-            );
+            assert!(h.availability > n.availability, "rate {rate}: {h:?} vs {n:?}");
         }
     }
 

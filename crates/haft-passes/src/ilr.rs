@@ -179,10 +179,8 @@ impl IlrPass {
             meta,
         );
         seg.insts.push(cbr);
-        let finished = std::mem::replace(
-            seg,
-            Seg { block: cont, insts: Vec::new(), last_move: None },
-        );
+        let finished =
+            std::mem::replace(seg, Seg { block: cont, insts: Vec::new(), last_move: None });
         self.new_lists.push((finished.block, finished.insts));
     }
 
@@ -220,10 +218,8 @@ impl IlrPass {
                     seg.insts.push(iid);
                     let mut sop = op.clone();
                     sop.map_operands(|o| *o = self.shadow_of(o));
-                    let (sid, sres) = f.create_inst_meta(
-                        sop,
-                        InstMeta { shadow: true, ..Default::default() },
-                    );
+                    let (sid, sres) =
+                        f.create_inst_meta(sop, InstMeta { shadow: true, ..Default::default() });
                     seg.insts.push(sid);
                     self.set_shadow(result, sres);
                     seg.last_move = None;
@@ -308,10 +304,8 @@ impl IlrPass {
 
                 // --- control ------------------------------------------------
                 Op::Call { args, .. } => {
-                    let checks: Vec<(Operand, Operand, Ty)> = args
-                        .iter()
-                        .map(|a| (*a, self.shadow_of(a), f.operand_ty(a)))
-                        .collect();
+                    let checks: Vec<(Operand, Operand, Ty)> =
+                        args.iter().map(|a| (*a, self.shadow_of(a), f.operand_ty(a))).collect();
                     for (a, s, ty) in checks {
                         self.emit_check(f, &mut seg, a, s, ty);
                     }
@@ -347,18 +341,13 @@ impl IlrPass {
                         let st = f.add_block();
                         let sf = f.add_block();
                         let meta = InstMeta { shadow: true, ilr_check: true, ..Default::default() };
-                        let (cbr, _) =
-                            f.create_inst(Op::CondBr { cond: *cond, t: st, f: sf });
+                        let (cbr, _) = f.create_inst(Op::CondBr { cond: *cond, t: st, f: sf });
                         seg.insts.push(cbr);
-                        let (tb, _) = f.create_inst_meta(
-                            Op::CondBr { cond: scond, t: *t, f: detect },
-                            meta,
-                        );
+                        let (tb, _) =
+                            f.create_inst_meta(Op::CondBr { cond: scond, t: *t, f: detect }, meta);
                         f.blocks[st.0 as usize].insts.push(tb);
-                        let (fb2, _) = f.create_inst_meta(
-                            Op::CondBr { cond: scond, t: detect, f: *fb },
-                            meta,
-                        );
+                        let (fb2, _) =
+                            f.create_inst_meta(Op::CondBr { cond: scond, t: detect, f: *fb }, meta);
                         f.blocks[sf.0 as usize].insts.push(fb2);
                         self.edge_fix.insert((*t, b), st);
                         self.edge_fix.insert((*fb, b), sf);
@@ -423,10 +412,8 @@ impl IlrPass {
                 Op::Phi { incomings, .. } => incomings.clone(),
                 _ => unreachable!("phi pair holds phis"),
             };
-            let mapped: Vec<(Operand, BlockId)> = incomings
-                .into_iter()
-                .map(|(v, b)| (self.shadow_of(&v), b))
-                .collect();
+            let mapped: Vec<(Operand, BlockId)> =
+                incomings.into_iter().map(|(v, b)| (self.shadow_of(&v), b)).collect();
             if let Op::Phi { incomings, .. } = &mut f.inst_mut(shadow).op {
                 *incomings = mapped;
             }
@@ -495,10 +482,7 @@ impl IlrPass {
         ty: Ty,
     ) {
         let insts = f.blocks[header.0 as usize].insts.clone();
-        let phi_end = insts
-            .iter()
-            .position(|i| !f.inst(*i).op.is_phi())
-            .unwrap_or(insts.len());
+        let phi_end = insts.iter().position(|i| !f.inst(*i).op.is_phi()).unwrap_or(insts.len());
         let detect = self.detect_block(f);
         let meta = InstMeta { ilr_check: true, fprop_check: true, ..Default::default() };
         let (cmp, d) = f.create_inst_meta(

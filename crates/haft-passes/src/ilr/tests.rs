@@ -11,11 +11,7 @@ use haft_vm::{FaultPlan, RunOutcome, RunSpec, Vm, VmConfig};
 use super::*;
 
 fn count_ops(f: &Function, pred: impl Fn(&Op) -> bool) -> usize {
-    f.blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .filter(|i| pred(&f.inst(**i).op))
-        .count()
+    f.blocks.iter().flat_map(|b| &b.insts).filter(|i| pred(&f.inst(**i).op)).count()
 }
 
 fn count_shadow(f: &Function) -> usize {
@@ -48,12 +44,8 @@ fn replication_creates_shadow_flow_and_verifies() {
     // the store gained a verification re-load, and checks exist.
     assert!(count_shadow(f) >= 4, "shadow insts = {}", count_shadow(f));
     assert!(count_ops(f, |o| matches!(o, Op::TxAbort { code: AbortCode::IlrDetected })) == 1);
-    let checks = f
-        .blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .filter(|i| f.inst(**i).meta.ilr_check)
-        .count();
+    let checks =
+        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| f.inst(**i).meta.ilr_check).count();
     assert!(checks >= 2, "checks = {checks}");
 }
 
@@ -195,10 +187,7 @@ fn check_elision_removes_check_after_fresh_copy() {
     let mut with = m.clone();
     run_ilr_module(&mut with, &IlrConfig::default());
     let mut without = m;
-    run_ilr_module(
-        &mut without,
-        &IlrConfig { check_elision: false, ..IlrConfig::default() },
-    );
+    run_ilr_module(&mut without, &IlrConfig { check_elision: false, ..IlrConfig::default() });
     let c = |m: &Module| {
         m.funcs[1]
             .blocks
@@ -238,12 +227,8 @@ fn fprop_check_inserted_for_hoisted_loop_variable() {
     run_ilr_module(&mut m, &IlrConfig::default());
     verify_module(&m).unwrap_or_else(|e| panic!("{e:?}"));
     let f = &m.funcs[0];
-    let fprop = f
-        .blocks
-        .iter()
-        .flat_map(|b| &b.insts)
-        .filter(|i| f.inst(**i).meta.fprop_check)
-        .count();
+    let fprop =
+        f.blocks.iter().flat_map(|b| &b.insts).filter(|i| f.inst(**i).meta.fprop_check).count();
     assert!(fprop >= 2, "cmp + condbr marked fprop, got {fprop}");
 }
 
@@ -367,8 +352,5 @@ fn native_program_has_substantial_sdc_rate() {
         }
         occ += 3;
     }
-    assert!(
-        sdc as f64 / runs as f64 > 0.10,
-        "native SDC rate suspiciously low: {sdc}/{runs}"
-    );
+    assert!(sdc as f64 / runs as f64 > 0.10, "native SDC rate suspiciously low: {sdc}/{runs}");
 }

@@ -87,10 +87,7 @@ impl HardenConfig {
             fault_prop_check: level >= OptLevel::FaultProp,
             check_elision: true,
         };
-        let tx = TxConfig {
-            local_calls_opt: level >= OptLevel::LocalCalls,
-            ..TxConfig::default()
-        };
+        let tx = TxConfig { local_calls_opt: level >= OptLevel::LocalCalls, ..TxConfig::default() };
         HardenConfig { ilr: Some(ilr), tx: Some(tx) }
     }
 

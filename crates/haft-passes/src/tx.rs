@@ -130,9 +130,8 @@ pub fn run_tx(f: &mut Function, cfg: &TxConfig, kinds: &[CalleeKind]) {
                         Callee::Indirect(_) => CalleeKind::External,
                     };
                     if kind == CalleeKind::Local && cfg.local_calls_opt {
-                        let (inc, _) = f.create_inst(Op::TxCounterInc {
-                            amount: 1 + args.len() as u32,
-                        });
+                        let (inc, _) =
+                            f.create_inst(Op::TxCounterInc { amount: 1 + args.len() as u32 });
                         new.push(inc);
                         new.push(iid);
                         let (split, _) = f.create_inst(Op::TxCondSplit);
@@ -206,10 +205,7 @@ fn split_insert_point(f: &Function, header: BlockId) -> (BlockId, usize) {
     let mut b = header;
     loop {
         let insts = &f.blocks[b.0 as usize].insts;
-        let phi_end = insts
-            .iter()
-            .position(|i| !f.inst(*i).op.is_phi())
-            .unwrap_or(insts.len());
+        let phi_end = insts.iter().position(|i| !f.inst(*i).op.is_phi()).unwrap_or(insts.len());
         // A block that is exactly [phis..., fprop cmp, condbr] chains into
         // its continuation.
         if insts.len() == phi_end + 2 {

@@ -149,10 +149,7 @@ fn local_calls_use_counter_with_opt_and_bracket_without() {
     assert!(matches!(ops[call_at + 1], Op::TxCondSplit), "{ops:?}");
 
     let mut without = m;
-    run_tx_module(
-        &mut without,
-        &TxConfig { local_calls_opt: false, ..Default::default() },
-    );
+    run_tx_module(&mut without, &TxConfig { local_calls_opt: false, ..Default::default() });
     let ops = ops_of(&without.funcs[1]);
     let call_at = ops.iter().position(|o| matches!(o, Op::Call { .. })).unwrap();
     assert!(matches!(ops[call_at - 1], Op::TxEnd), "{ops:?}");
@@ -183,10 +180,7 @@ fn emit_and_locks_are_bracketed_without_elision() {
     assert!(count(f, |o| matches!(o, Op::TxEnd)) >= 3, "{:?}", ops_of(f));
 
     let mut elided = m;
-    run_tx_module(
-        &mut elided,
-        &TxConfig { lock_elision: true, ..Default::default() },
-    );
+    run_tx_module(&mut elided, &TxConfig { lock_elision: true, ..Default::default() });
     let f = &elided.funcs[0];
     // Lock/unlock stay inside the transaction; only emit is bracketed.
     let ops = ops_of(f);
@@ -214,8 +208,8 @@ fn peephole_removes_empty_transactions() {
     let mut without = m;
     run_tx_module(&mut without, &TxConfig { peephole: false, ..Default::default() });
     assert!(
-        count(&with.funcs[1], |o| matches!(o, Op::TxBegin)) <
-            count(&without.funcs[1], |o| matches!(o, Op::TxBegin)),
+        count(&with.funcs[1], |o| matches!(o, Op::TxBegin))
+            < count(&without.funcs[1], |o| matches!(o, Op::TxBegin)),
         "peephole must remove an empty transaction"
     );
     verify_module(&with).unwrap_or_else(|e| panic!("{e:?}"));

@@ -135,7 +135,10 @@ impl CostConfig {
                 UnOp::FNeg | UnOp::FAbs => self.lat_int,
                 _ => self.lat_int,
             },
-            Op::Cmp { .. } | Op::Move { .. } | Op::Cast { .. } | Op::Select { .. }
+            Op::Cmp { .. }
+            | Op::Move { .. }
+            | Op::Cast { .. }
+            | Op::Select { .. }
             | Op::Gep { .. } => self.lat_int,
             // Phis are renames resolved at the branch.
             Op::Phi { .. } => 0,

@@ -455,7 +455,6 @@ impl<'m> Vm<'m> {
         }
     }
 
-
     // --- operand evaluation ---------------------------------------------------
 
     fn operand(&self, tid: usize, o: &Operand) -> (u64, u64) {
@@ -751,8 +750,7 @@ impl<'m> Vm<'m> {
             // --- memory -----------------------------------------------------
             Op::Load { ty, addr, atomic } => {
                 let (av, ar) = self.operand(tid, addr);
-                let hit =
-                    self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Read);
+                let hit = self.htm.access(tid, av, ty.size_bytes() as u64, AccessKind::Read);
                 match self.mem_load(tid, av, ty.size_bytes()) {
                     Ok(v) => {
                         let lat = if *atomic {
@@ -832,10 +830,11 @@ impl<'m> Vm<'m> {
                             Ok(()) => {
                                 let dep = self.mem_ready(tid, av, ty.size_bytes());
                                 let ready = ar.max(er).max(nr).max(dep);
-                                let done = self
-                                    .threads[tid]
-                                    .sb
-                                    .issue(width, ready, self.cfg.cost.lat_atomic);
+                                let done = self.threads[tid].sb.issue(
+                                    width,
+                                    ready,
+                                    self.cfg.cost.lat_atomic,
+                                );
                                 self.note_store(tid, av, ty.size_bytes(), done);
                                 self.write_reg(tid, result.unwrap(), old, done, *ty);
                                 Flow::Continue
@@ -978,8 +977,7 @@ impl<'m> Vm<'m> {
                         self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_tx_end);
                         match self.tx_commit(tid) {
                             Ok(()) => {
-                                let begin = self
-                                    .threads[tid]
+                                let begin = self.threads[tid]
                                     .sb
                                     .issue_serial(width, self.cfg.cost.lat_tx_begin);
                                 self.tx_begin(tid, begin);
@@ -988,10 +986,8 @@ impl<'m> Vm<'m> {
                         }
                     } else {
                         // Re-enter transactional mode after a fallback.
-                        let begin = self
-                            .threads[tid]
-                            .sb
-                            .issue_serial(width, self.cfg.cost.lat_tx_begin);
+                        let begin =
+                            self.threads[tid].sb.issue_serial(width, self.cfg.cost.lat_tx_begin);
                         self.tx_begin(tid, begin);
                     }
                 }
@@ -1276,11 +1272,7 @@ fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
         CastKind::SiToFp => (from.sext(a) as f64).to_bits(),
         CastKind::FpToSi => {
             let f = f64::from_bits(a);
-            let i = if f.is_nan() {
-                0
-            } else {
-                f.clamp(i64::MIN as f64, i64::MAX as f64) as i64
-            };
+            let i = if f.is_nan() { 0 } else { f.clamp(i64::MIN as f64, i64::MAX as f64) as i64 };
             (i as u64) & to.mask()
         }
         CastKind::Bitcast => a & to.mask(),

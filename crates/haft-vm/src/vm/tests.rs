@@ -221,7 +221,8 @@ fn parallel_workers_partition_work() {
     m.push_func(fb.finish());
 
     let cfg = VmConfig { n_threads: 4, ..Default::default() };
-    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    let r =
+        run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
     assert_eq!(r.outcome, RunOutcome::Completed);
     assert_eq!(r.output, vec![600]); // 0+100+200+300.
 }
@@ -252,7 +253,8 @@ fn locks_serialize_shared_counter() {
     m.push_func(fb.finish());
 
     let cfg = VmConfig { n_threads: 4, quantum: 7, ..Default::default() };
-    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    let r =
+        run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
     assert_eq!(r.outcome, RunOutcome::Completed);
     assert_eq!(r.output, vec![200]);
 }
@@ -276,7 +278,8 @@ fn atomic_rmw_is_scheduler_safe() {
     fb.ret(None);
     m.push_func(fb.finish());
     let cfg = VmConfig { n_threads: 3, quantum: 5, ..Default::default() };
-    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    let r =
+        run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
     assert_eq!(r.output, vec![300]);
 }
 
@@ -461,7 +464,8 @@ fn conflicting_transactions_abort_and_recover() {
     m.push_func(fb.finish());
 
     let cfg = VmConfig { n_threads: 2, quantum: 9, ..Default::default() };
-    let r = run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
+    let r =
+        run(&m, cfg, RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() });
     assert_eq!(r.outcome, RunOutcome::Completed);
     // Transactional increments are atomic: no lost updates even though
     // some transactions abort. (Fallback-mode races are possible only

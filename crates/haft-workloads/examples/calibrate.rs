@@ -5,7 +5,10 @@ use haft_workloads::{all_workloads, Scale};
 
 fn main() {
     let threads = 8;
-    println!("{:<14} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6}", "bench", "nat Mcyc", "IPC", "ILR", "TX", "HAFT", "abort%", "cov%");
+    println!(
+        "{:<14} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6}",
+        "bench", "nat Mcyc", "IPC", "ILR", "TX", "HAFT", "abort%", "cov%"
+    );
     for w in all_workloads(Scale::Large) {
         let cfg = |tx: u64| VmConfig { n_threads: threads, tx_threshold: tx, ..Default::default() };
         let nat = Vm::run(&w.module, cfg(1000), w.run_spec());
@@ -17,9 +20,22 @@ fn main() {
             let r = Vm::run(&hm, cfg(1000), w.run_spec());
             assert_eq!(r.outcome, RunOutcome::Completed, "{} hardened", w.name);
             assert_eq!(r.output, nat.output, "{}", w.name);
-            row.push((r.wall_cycles as f64 / nat.wall_cycles as f64, r.htm.abort_rate_pct(), r.htm.coverage_pct()));
+            row.push((
+                r.wall_cycles as f64 / nat.wall_cycles as f64,
+                r.htm.abort_rate_pct(),
+                r.htm.coverage_pct(),
+            ));
         }
-        println!("{:<14} {:>8.2} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>6.1}",
-            w.name, nat.wall_cycles as f64/1e6, ipc, row[0].0, row[1].0, row[2].0, row[2].1, row[2].2);
+        println!(
+            "{:<14} {:>8.2} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>6.1}",
+            w.name,
+            nat.wall_cycles as f64 / 1e6,
+            ipc,
+            row[0].0,
+            row[1].0,
+            row[2].0,
+            row[2].1,
+            row[2].2
+        );
     }
 }

@@ -118,7 +118,8 @@ mod tests {
         fb.emit_out(Ty::I64, s1);
         fb.ret(None);
         m.push_func(fb.finish());
-        let r = Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
+        let r =
+            Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
         let mut x = 0x1234_5678u64;
         x ^= x << 13;
         x ^= x >> 7;
@@ -136,7 +137,8 @@ mod tests {
         fb.emit_out(Ty::I64, fx);
         fb.ret(None);
         m.push_func(fb.finish());
-        let r = Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
+        let r =
+            Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
         assert_eq!(r.output, vec![1234]);
     }
 }

@@ -245,9 +245,8 @@ pub fn dedup(scale: Scale) -> Workload {
                     // Compress unique chunks through the unprotected
                     // library; fold the result into a commutative sum.
                     let src = b4.gep(Operand::GlobalAddr(input), base, 1, 0);
-                    let folded = b4
-                        .call(ext_id, &[src.into(), my_scratch.into()], Some(Ty::I64))
-                        .unwrap();
+                    let folded =
+                        b4.call(ext_id, &[src.into(), my_scratch.into()], Some(Ty::I64)).unwrap();
                     let fold_cell = b4.gep(local_stats, b4.iconst(Ty::I64, 1), 8, 0);
                     let lf = b4.load(Ty::I64, fold_cell);
                     let lf1 = b4.add(Ty::I64, lf, folded);
@@ -552,11 +551,7 @@ pub fn vips(scale: Scale) -> Workload {
     while terms.len() > 1 {
         let mut next = Vec::new();
         for pair in terms.chunks(2) {
-            next.push(if pair.len() == 2 {
-                k.add(Ty::I64, pair[0], pair[1])
-            } else {
-                pair[0]
-            });
+            next.push(if pair.len() == 2 { k.add(Ty::I64, pair[0], pair[1]) } else { pair[0] });
         }
         terms = next;
     }

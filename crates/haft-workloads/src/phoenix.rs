@@ -134,17 +134,13 @@ pub fn kmeans(scale: Scale, ns: bool) -> Workload {
             let batch = b.bin(BinOp::And, Ty::I64, i, b.iconst(Ty::I64, 31));
             let flush = b.cmp(CmpOp::Eq, Ty::I64, batch, b.iconst(Ty::I64, 31));
             b.if_then(flush, |b2| {
-                b2.counted_loop(
-                    b2.iconst(Ty::I64, 0),
-                    b2.iconst(Ty::I64, K * (D + 1)),
-                    |b3, c| {
-                        let lc = b3.gep(local, c, 8, 0);
-                        let v = b3.load(Ty::I64, lc);
-                        let sc = b3.gep(my_sums, c, 8, 0);
-                        b3.rmw(RmwOp::Add, Ty::I64, sc, v);
-                        b3.store(Ty::I64, b3.iconst(Ty::I64, 0), lc);
-                    },
-                );
+                b2.counted_loop(b2.iconst(Ty::I64, 0), b2.iconst(Ty::I64, K * (D + 1)), |b3, c| {
+                    let lc = b3.gep(local, c, 8, 0);
+                    let v = b3.load(Ty::I64, lc);
+                    let sc = b3.gep(my_sums, c, 8, 0);
+                    b3.rmw(RmwOp::Add, Ty::I64, sc, v);
+                    b3.store(Ty::I64, b3.iconst(Ty::I64, 0), lc);
+                });
             });
         }
     });
@@ -488,16 +484,8 @@ pub fn stringmatch(scale: Scale) -> Workload {
                 let pos = b2.add(Ty::I64, i, j);
                 let __h10 = b2.gep(Operand::GlobalAddr(input), pos, 1, 0);
                 let tc = b2.load(Ty::I8, __h10);
-                let __h11 = b2.gep(
-                        Operand::GlobalAddr(keys),
-                        j,
-                        1,
-                        ki as i64 * 8,
-                    );
-                let kc = b2.load(
-                    Ty::I8,
-                    __h11,
-                );
+                let __h11 = b2.gep(Operand::GlobalAddr(keys), j, 1, ki as i64 * 8);
+                let kc = b2.load(Ty::I8, __h11);
                 let same = b2.cmp(CmpOp::Eq, Ty::I8, tc, kc);
                 let cur = b2.load(Ty::I64, matched);
                 let upd = b2.select(Ty::I64, same, cur, b2.iconst(Ty::I64, 0));

@@ -102,10 +102,7 @@ pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
 
 /// Builds every workload at the given scale.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    WORKLOAD_NAMES
-        .iter()
-        .map(|n| workload_by_name(n, scale).expect("registered name"))
-        .collect()
+    WORKLOAD_NAMES.iter().map(|n| workload_by_name(n, scale).expect("registered name")).collect()
 }
 
 #[cfg(test)]

@@ -57,11 +57,7 @@ fn hardened_workloads_match_native_output() {
         let r = Vm::run(&hardened, cfg(2, 7), w.run_spec());
         assert_eq!(r.outcome, RunOutcome::Completed, "{} hardened", w.name);
         assert_eq!(r.output, native.output, "{} output changed by HAFT", w.name);
-        assert!(
-            r.instructions > native.instructions,
-            "{} hardening must add instructions",
-            w.name
-        );
+        assert!(r.instructions > native.instructions, "{} hardening must add instructions", w.name);
         assert!(r.htm.commits > 0, "{} must commit transactions", w.name);
     }
 }

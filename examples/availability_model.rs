@@ -6,25 +6,15 @@
 use haft::prelude::*;
 
 fn main() {
-    let rate: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.01);
+    let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
     const HOUR: f64 = 3600.0;
     println!("fault rate: {rate} faults/second, horizon: 1 hour\n");
     println!("{:<8}{:>14}{:>14}", "system", "available", "corrupted");
-    for (label, kind) in [
-        ("native", SystemKind::Native),
-        ("ILR", SystemKind::Ilr),
-        ("HAFT", SystemKind::Haft),
-    ] {
+    for (label, kind) in
+        [("native", SystemKind::Native), ("ILR", SystemKind::Ilr), ("HAFT", SystemKind::Haft)]
+    {
         let p = HaftChain::paper(kind).evaluate(rate, HOUR);
-        println!(
-            "{:<8}{:>13.2}%{:>13.2}%",
-            label,
-            p.availability * 100.0,
-            p.corruption * 100.0
-        );
+        println!("{:<8}{:>13.2}%{:>13.2}%", label, p.availability * 100.0, p.corruption * 100.0);
     }
     println!(
         "\nRecovery rates: manual 6 h, reboot 10 s, transactional 2.5 µs \

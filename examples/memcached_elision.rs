@@ -11,11 +11,7 @@ fn main() {
     let w = memcached(WorkloadMix::A, KvSync::Lock, Scale::Large);
     let spec = w.run_spec();
 
-    let native = Vm::run(
-        &w.module,
-        VmConfig { n_threads: threads, ..Default::default() },
-        spec,
-    );
+    let native = Vm::run(&w.module, VmConfig { n_threads: threads, ..Default::default() }, spec);
 
     let hardened_elision = harden(&w.module, &HardenConfig::haft_with_elision());
     let with_elision = Vm::run(
@@ -25,11 +21,8 @@ fn main() {
     );
 
     let hardened_plain = harden(&w.module, &HardenConfig::haft());
-    let without = Vm::run(
-        &hardened_plain,
-        VmConfig { n_threads: threads, ..Default::default() },
-        spec,
-    );
+    let without =
+        Vm::run(&hardened_plain, VmConfig { n_threads: threads, ..Default::default() }, spec);
 
     assert_eq!(native.output, with_elision.output);
     assert_eq!(native.output, without.output);

@@ -8,14 +8,8 @@ use haft::prelude::*;
 fn main() {
     // 1. Build a program against the IR: a parallel dot-product.
     let mut m = Module::new("quickstart");
-    let xs = m.add_global_init(
-        "xs",
-        (0..512u64).flat_map(|i| (i % 97).to_le_bytes()).collect(),
-    );
-    let ys = m.add_global_init(
-        "ys",
-        (0..512u64).flat_map(|i| (i % 89).to_le_bytes()).collect(),
-    );
+    let xs = m.add_global_init("xs", (0..512u64).flat_map(|i| (i % 97).to_le_bytes()).collect());
+    let ys = m.add_global_init("ys", (0..512u64).flat_map(|i| (i % 89).to_le_bytes()).collect());
     let partial = m.add_global("partial", 16 * 64);
 
     let mut w = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);

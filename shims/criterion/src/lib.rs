@@ -1,0 +1,91 @@
+//! Minimal, offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! Implements just the surface this workspace's `micro.rs` bench uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark runs a
+//! short warmup, then an adaptive measurement loop, and prints the mean
+//! wall-clock time per iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// Target wall-clock time spent measuring each benchmark.
+    pub measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark closure and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO, budget: self.measurement_time };
+        f(&mut b);
+        let mean = if b.iters > 0 { b.elapsed.as_nanos() as f64 / b.iters as f64 } else { 0.0 };
+        println!("{id:<40} {:>12} iters   mean {:>12.1} ns", b.iters, mean);
+        self
+    }
+}
+
+/// Timing context passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly until the measurement budget is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warmup, and a floor so ultra-fast bodies still amortize timer cost.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            for _ in 0..16 {
+                black_box(f());
+            }
+            iters += 16;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,108 @@
+//! Minimal, offline, API-compatible stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's surface this workspace uses (see
+//! `shims/README.md`): the [`proptest!`] test macro, [`prop_oneof!`],
+//! panic-based `prop_assert*` macros, the [`strategy::Strategy`] trait with
+//! `prop_map`, `any::<T>()`, `Just`, integer-range and tuple strategies, and
+//! [`collection::vec`]. Generation is driven by a deterministic seeded PRNG
+//! (seeded from the test name, overridable via `PROPTEST_SEED`); there is no
+//! shrinking — failing cases print their fully generated inputs instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The imports a proptest-based test file conventionally glob-includes.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the upstream form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<u8>(), 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let mut case_desc = String::new();
+                $(case_desc.push_str(&format!(
+                    "    {} = {:?}\n", stringify!($arg), &$arg));)+
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || $body)) {
+                    Ok(()) => {}
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name), case + 1, config.cases, case_desc,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Panic-based stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panic-based stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Panic-based stand-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,57 @@
+//! Config and deterministic PRNG behind the [`proptest!`](crate::proptest) macro.
+
+/// Per-block test configuration (upstream's `ProptestConfig`, cases only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases each property runs against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test name, so runs are
+/// reproducible; set `PROPTEST_SEED` to explore a different stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse::<u64>().unwrap_or(0x9e37_79b9_7f4a_7c15),
+            Err(_) => 0x9e37_79b9_7f4a_7c15,
+        };
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}

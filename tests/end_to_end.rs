@@ -55,8 +55,7 @@ fn haft_reliability_pipeline() {
     );
     assert!(haft.pct(Outcome::HaftCorrected) > 20.0, "{}", haft.summary());
     // Correct group (masked + corrected) dominates, as in the paper's 91.2%.
-    let correct =
-        haft.pct(Outcome::HaftCorrected) + haft.pct(Outcome::Masked);
+    let correct = haft.pct(Outcome::HaftCorrected) + haft.pct(Outcome::Masked);
     assert!(correct > 50.0, "{}", haft.summary());
 }
 
@@ -69,11 +68,7 @@ fn coverage_is_high_for_protected_benchmarks() {
         let hardened = harden(&w.module, &HardenConfig::haft());
         let cfg = VmConfig { n_threads: 2, tx_threshold: 3000, ..Default::default() };
         let r = Vm::run(&hardened, cfg, w.run_spec());
-        assert!(
-            r.htm.coverage_pct() > 60.0,
-            "{name} coverage {:.1}%",
-            r.htm.coverage_pct()
-        );
+        assert!(r.htm.coverage_pct() > 60.0, "{name} coverage {:.1}%", r.htm.coverage_pct());
     }
 }
 
@@ -117,10 +112,7 @@ fn measured_probabilities_feed_the_model() {
             / 100.0,
         haft_correctable: rep.pct(Outcome::HaftCorrected) / 100.0,
     };
-    let chain = haft::model::HaftChain {
-        probs,
-        rates: haft::model::RecoveryRates::default(),
-    };
+    let chain = haft::model::HaftChain { probs, rates: haft::model::RecoveryRates::default() };
     let pt = chain.evaluate(0.01, 3600.0);
     assert!(pt.availability > 0.0 && pt.availability <= 1.0);
     assert!(pt.corruption >= 0.0 && pt.corruption < 1.0);
