@@ -2,9 +2,15 @@
 //! the check-elision peephole, the TX begin/end peephole, and the
 //! adaptive-transaction-sizing extension (the paper's §7 future work).
 
-use haft_bench::{recommended_threshold, run_checked, vm_config};
-use haft_passes::{harden, HardenConfig, IlrConfig, TxConfig};
+use haft::Experiment;
+use haft_bench::{experiment, recommended_threshold, vm_config};
+use haft_passes::{HardenConfig, IlrConfig, TxConfig};
 use haft_workloads::{all_workloads, workload_by_name, Scale};
+
+/// Static instruction count of the module a config produces.
+fn inst_count(w: &haft_workloads::Workload, hc: HardenConfig) -> usize {
+    Experiment::new(&w.module).harden(hc).build().0.total_inst_count()
+}
 
 fn main() {
     let threads = if haft_bench::fast_mode() { 2 } else { 8 };
@@ -13,15 +19,14 @@ fn main() {
     println!("{:<16}{:>14}{:>14}{:>10}", "benchmark", "insts(on)", "insts(off)", "saved");
     for name in ["histogram", "vips", "dedup", "x264"] {
         let w = workload_by_name(name, Scale::Small).unwrap();
-        let on = harden(&w.module, &HardenConfig::haft());
-        let off = harden(
-            &w.module,
-            &HardenConfig {
+        let a = inst_count(&w, HardenConfig::haft());
+        let b = inst_count(
+            &w,
+            HardenConfig {
                 ilr: Some(IlrConfig { check_elision: false, ..Default::default() }),
                 tx: Some(TxConfig::default()),
             },
         );
-        let (a, b) = (on.total_inst_count(), off.total_inst_count());
         println!(
             "{:<16}{:>14}{:>14}{:>9.1}%",
             name,
@@ -35,15 +40,14 @@ fn main() {
     println!("{:<16}{:>14}{:>14}{:>10}", "benchmark", "insts(on)", "insts(off)", "saved");
     for name in ["dedup", "apache-like: see fig12", "vips"] {
         let Some(w) = workload_by_name(name, Scale::Small) else { continue };
-        let on = harden(&w.module, &HardenConfig::haft());
-        let off = harden(
-            &w.module,
-            &HardenConfig {
+        let a = inst_count(&w, HardenConfig::haft());
+        let b = inst_count(
+            &w,
+            HardenConfig {
                 ilr: Some(IlrConfig::default()),
                 tx: Some(TxConfig { peephole: false, ..Default::default() }),
             },
         );
-        let (a, b) = (on.total_inst_count(), off.total_inst_count());
         println!(
             "{:<16}{:>14}{:>14}{:>9.1}%",
             name,
@@ -63,12 +67,18 @@ fn main() {
         if !matches!(w.name, "kmeans" | "pca" | "wordcount" | "streamcluster" | "vips") {
             continue;
         }
-        let native = run_checked(&w, &w.module, vm_config(threads, 5000));
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        let fixed = run_checked(&w, &hardened, vm_config(threads, 5000));
+        let native = experiment(&w, threads, 5000).run().expect_completed(w.name);
+        let fixed = experiment(&w, threads, 5000)
+            .harden(HardenConfig::haft())
+            .run()
+            .expect_completed(w.name);
         let mut acfg = vm_config(threads, 5000);
         acfg.adaptive_threshold = true;
-        let adaptive = run_checked(&w, &hardened, acfg);
+        let adaptive = Experiment::workload(&w)
+            .vm(acfg)
+            .harden(HardenConfig::haft())
+            .run()
+            .expect_completed(w.name);
         println!(
             "{:<16}{:>10.2}{:>10.2}{:>12.2}{:>12.2}{:>9.1}%{:>9.1}%",
             w.name,

@@ -1,14 +1,34 @@
 //! Figure 11: memcached throughput under YCSB A and D, native vs HAFT
 //! with/without lock elision, plus the SEI comparison (right graph).
 
+use haft::Experiment;
 use haft_apps::{memcached, KvSync, WorkloadMix};
-use haft_bench::{run_checked, vm_config};
-use haft_passes::{harden, HardenConfig};
+use haft_bench::vm_config;
+use haft_passes::HardenConfig;
+use haft_vm::RunResult;
 use haft_workloads::Scale;
 
 /// Simulated throughput in M ops per second at 2 GHz.
 fn throughput(wall_cycles: u64, ops: f64) -> f64 {
     ops / (wall_cycles as f64 / 2.0e9) / 1.0e6
+}
+
+/// One grid cell: a memcached variant hardened with `hc`, with or
+/// without the VM's lock-elision wrapper.
+fn cell(
+    mix: WorkloadMix,
+    sync: KvSync,
+    hc: HardenConfig,
+    elide: bool,
+    threads: usize,
+) -> RunResult {
+    let w = memcached(mix, sync, Scale::Large);
+    Experiment::workload(&w)
+        .vm(vm_config(threads, 3000))
+        .harden(hc)
+        .lock_elision(elide)
+        .run()
+        .expect_completed(w.name)
 }
 
 fn main() {
@@ -24,31 +44,11 @@ fn main() {
             "threads", "native-atom", "native-lock", "HAFT-atom", "HAFT-lock", "HAFT-lock-noel"
         );
         for &t in &threads {
-            let na = {
-                let w = memcached(mix, KvSync::Atomics, Scale::Large);
-                run_checked(&w, &w.module, vm_config(t, 3000))
-            };
-            let nl = {
-                let w = memcached(mix, KvSync::Lock, Scale::Large);
-                run_checked(&w, &w.module, vm_config(t, 3000))
-            };
-            let ha = {
-                let w = memcached(mix, KvSync::Atomics, Scale::Large);
-                let h = harden(&w.module, &HardenConfig::haft());
-                run_checked(&w, &h, vm_config(t, 3000))
-            };
-            let hl = {
-                let w = memcached(mix, KvSync::Lock, Scale::Large);
-                let h = harden(&w.module, &HardenConfig::haft_with_elision());
-                let mut cfg = vm_config(t, 3000);
-                cfg.lock_elision = true;
-                run_checked(&w, &h, cfg)
-            };
-            let hn = {
-                let w = memcached(mix, KvSync::Lock, Scale::Large);
-                let h = harden(&w.module, &HardenConfig::haft());
-                run_checked(&w, &h, vm_config(t, 3000))
-            };
+            let na = cell(mix, KvSync::Atomics, HardenConfig::native(), false, t);
+            let nl = cell(mix, KvSync::Lock, HardenConfig::native(), false, t);
+            let ha = cell(mix, KvSync::Atomics, HardenConfig::haft(), false, t);
+            let hl = cell(mix, KvSync::Lock, HardenConfig::haft_with_elision(), true, t);
+            let hn = cell(mix, KvSync::Lock, HardenConfig::haft(), false, t);
             println!(
                 "{:<10}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>16.3}",
                 t,
@@ -64,21 +64,10 @@ fn main() {
     println!("\n=== Figure 11 (right): HAFT vs SEI (mcblaster-style, uniform keys) ===");
     println!("{:<10}{:>14}{:>14}{:>14}", "threads", "native-lock", "HAFT-lock", "SEI");
     for &t in &threads {
-        let nl = {
-            let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Large);
-            run_checked(&w, &w.module, vm_config(t, 3000))
-        };
-        let hl = {
-            let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Large);
-            let h = harden(&w.module, &HardenConfig::haft_with_elision());
-            let mut cfg = vm_config(t, 3000);
-            cfg.lock_elision = true;
-            run_checked(&w, &h, cfg)
-        };
-        let sei = {
-            let w = memcached(WorkloadMix::Uniform, KvSync::Sei, Scale::Large);
-            run_checked(&w, &w.module, vm_config(t, 3000))
-        };
+        let nl = cell(WorkloadMix::Uniform, KvSync::Lock, HardenConfig::native(), false, t);
+        let hl =
+            cell(WorkloadMix::Uniform, KvSync::Lock, HardenConfig::haft_with_elision(), true, t);
+        let sei = cell(WorkloadMix::Uniform, KvSync::Sei, HardenConfig::native(), false, t);
         println!(
             "{:<10}{:>14.3}{:>14.3}{:>14.3}",
             t,

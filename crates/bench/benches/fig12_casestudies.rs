@@ -3,8 +3,8 @@
 
 use haft_apps::others::{apache, leveldb, logcabin, sqlite};
 use haft_apps::WorkloadMix;
-use haft_bench::{run_checked, vm_config};
-use haft_passes::{harden, HardenConfig};
+use haft_bench::experiment;
+use haft_passes::HardenConfig;
 use haft_workloads::{Scale, Workload};
 
 fn tp(wall: u64, units: f64) -> f64 {
@@ -12,11 +12,10 @@ fn tp(wall: u64, units: f64) -> f64 {
 }
 
 fn line(w: &Workload, units: f64, threads: &[usize]) {
-    let hardened = harden(&w.module, &HardenConfig::haft());
     print!("{:<14}", w.name);
     for &t in threads {
-        let n = run_checked(w, &w.module, vm_config(t, 3000));
-        let h = run_checked(w, &hardened, vm_config(t, 3000));
+        let n = experiment(w, t, 3000).run().expect_completed(w.name);
+        let h = experiment(w, t, 3000).harden(HardenConfig::haft()).run().expect_completed(w.name);
         print!("  {:>7.1}/{:<7.1}", tp(n.wall_cycles, units), tp(h.wall_cycles, units));
     }
     println!();

@@ -1,8 +1,8 @@
 //! Figure 8: overhead (top) and abort percentage (bottom) vs transaction
 //! size threshold.
 
-use haft_bench::{header, row, run_checked, vm_config};
-use haft_passes::{harden, HardenConfig};
+use haft_bench::{experiment, header, row};
+use haft_passes::HardenConfig;
 use haft_workloads::{all_workloads, Scale};
 
 fn main() {
@@ -16,12 +16,15 @@ fn main() {
     header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
     let mut aborts: Vec<Vec<f64>> = Vec::new();
     for w in &workloads {
-        let native = run_checked(w, &w.module, vm_config(threads, 1000));
-        let hardened = harden(&w.module, &HardenConfig::haft());
+        let native = experiment(w, threads, 1000).run().expect_completed(w.name);
+        // One experiment across the sweep: the hardened module is built
+        // once and cached; only the VM threshold changes per size.
+        let mut hexp = experiment(w, threads, 1000).harden(HardenConfig::haft());
         let mut ohs = Vec::new();
         let mut abs = Vec::new();
         for &s in sizes {
-            let r = run_checked(w, &hardened, vm_config(threads, s));
+            hexp = hexp.tx_threshold(s);
+            let r = hexp.run().expect_completed(w.name);
             ohs.push(r.wall_cycles as f64 / native.wall_cycles as f64);
             abs.push(r.htm.abort_rate_pct());
         }

@@ -1,44 +1,35 @@
 //! Figure 9: fault-injection outcomes for native / ILR / HAFT, plus the
 //! paper's §6.1 memcached campaign.
 
+use haft::Experiment;
 use haft_apps::{memcached, KvSync, WorkloadMix};
-use haft_faults::{run_campaign, CampaignConfig, Outcome};
-use haft_passes::{harden, HardenConfig};
+use haft_faults::{CampaignConfig, CampaignReport, Outcome};
+use haft_passes::HardenConfig;
 use haft_vm::VmConfig;
 use haft_workloads::{all_workloads, Scale, Workload};
 
-fn campaign_cfg(injections: u64) -> CampaignConfig {
-    CampaignConfig {
-        injections,
-        seed: 0xF1_9,
-        vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
-        ..Default::default()
-    }
-}
-
-fn run_for(
-    w: &Workload,
-    hc: Option<&HardenConfig>,
-    injections: u64,
-) -> haft_faults::CampaignReport {
-    let module = match hc {
-        Some(hc) => harden(&w.module, hc),
-        None => w.module.clone(),
-    };
-    run_campaign(&module, w.run_spec(), &campaign_cfg(injections))
+fn run_for(w: &Workload, hc: HardenConfig, injections: u64) -> CampaignReport {
+    Experiment::workload(w)
+        .harden(hc)
+        .vm(VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() })
+        .campaign(CampaignConfig { injections, seed: 0x0F19, ..Default::default() })
+        .campaign
+        .unwrap()
 }
 
 fn main() {
     let injections = if haft_bench::fast_mode() { 40 } else { 150 };
     println!("\n=== Figure 9 (left): fault-injection outcomes, 2 threads ===");
-    println!("{:<16}{:<6} {}", "benchmark", "ver", "outcome distribution");
+    println!("{:<16}{:<6} outcome distribution", "benchmark", "ver");
     // The paper skips vips for fault injection (too slow under SDE); we
     // keep it — the simulator is fast enough.
     for w in all_workloads(Scale::Small) {
-        for (label, hc) in
-            [("N", None), ("I", Some(HardenConfig::ilr_only())), ("H", Some(HardenConfig::haft()))]
-        {
-            let r = run_for(&w, hc.as_ref(), injections);
+        for (label, hc) in [
+            ("N", HardenConfig::native()),
+            ("I", HardenConfig::ilr_only()),
+            ("H", HardenConfig::haft()),
+        ] {
+            let r = run_for(&w, hc, injections);
             println!("{:<16}{:<6} {}", w.name, label, r.summary());
         }
     }
@@ -47,16 +38,15 @@ fn main() {
     for name in ["linearreg", "canneal"] {
         let w = haft_workloads::workload_by_name(name, Scale::Small).unwrap();
         for level in haft_passes::OptLevel::ALL {
-            let hc = HardenConfig::at_opt_level(level);
-            let r = run_for(&w, Some(&hc), injections);
+            let r = run_for(&w, HardenConfig::at_opt_level(level), injections);
             println!("{:<16}{:<6} {}", name, level.label(), r.summary());
         }
     }
 
     println!("\n=== §6.1: memcached data corruptions (native vs HAFT) ===");
     let mc = memcached(WorkloadMix::A, KvSync::Lock, Scale::Small);
-    let native = run_for(&mc, None, injections);
-    let hafted = run_for(&mc, Some(&HardenConfig::haft_with_elision()), injections);
+    let native = run_for(&mc, HardenConfig::native(), injections);
+    let hafted = run_for(&mc, HardenConfig::haft_with_elision(), injections);
     println!(
         "native SDC: {:.2}%   HAFT SDC: {:.2}%",
         native.pct(Outcome::Sdc),

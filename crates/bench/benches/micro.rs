@@ -2,18 +2,21 @@
 //! HTM operations, and interpreter speed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use haft::Experiment;
 use haft_htm::{AccessKind, Htm, HtmConfig};
-use haft_passes::{harden, HardenConfig};
+use haft_passes::{HardenConfig, PassManager};
 use haft_vm::{RunSpec, Vm, VmConfig};
 use haft_workloads::{workload_by_name, Scale};
 
 fn bench_passes(c: &mut Criterion) {
     let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let haft_pm = PassManager::from_config(&HardenConfig::haft());
     c.bench_function("harden_haft_histogram", |b| {
-        b.iter(|| harden(std::hint::black_box(&w.module), &HardenConfig::haft()))
+        b.iter(|| haft_pm.run_on(std::hint::black_box(&w.module)))
     });
+    let ilr_pm = PassManager::from_config(&HardenConfig::ilr_only());
     c.bench_function("harden_ilr_only_histogram", |b| {
-        b.iter(|| harden(std::hint::black_box(&w.module), &HardenConfig::ilr_only()))
+        b.iter(|| ilr_pm.run_on(std::hint::black_box(&w.module)))
     });
 }
 
@@ -33,25 +36,20 @@ fn bench_htm(c: &mut Criterion) {
 }
 
 fn bench_vm(c: &mut Criterion) {
+    // Prebuild both modules via Experiment::build so the iteration
+    // measures interpreter speed alone (pass throughput has its own
+    // benchmark above).
     let w = workload_by_name("linearreg", Scale::Small).unwrap();
-    let hardened = harden(&w.module, &HardenConfig::haft());
+    let cfg = VmConfig { n_threads: 2, ..Default::default() };
+    let exp = Experiment::workload(&w).vm(cfg.clone());
+    let (native, _) = exp.build();
+    let (hardened, _) = exp.harden(HardenConfig::haft()).build();
+    let spec = RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() };
     c.bench_function("vm_run_native_linearreg_small", |b| {
-        b.iter(|| {
-            Vm::run(
-                std::hint::black_box(&w.module),
-                VmConfig { n_threads: 2, ..Default::default() },
-                RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() },
-            )
-        })
+        b.iter(|| Vm::run(std::hint::black_box(&native), cfg.clone(), spec))
     });
     c.bench_function("vm_run_haft_linearreg_small", |b| {
-        b.iter(|| {
-            Vm::run(
-                std::hint::black_box(&hardened),
-                VmConfig { n_threads: 2, ..Default::default() },
-                RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() },
-            )
-        })
+        b.iter(|| Vm::run(std::hint::black_box(&hardened), cfg.clone(), spec))
     });
 }
 

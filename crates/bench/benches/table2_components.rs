@@ -1,9 +1,9 @@
 //! Table 2: ILR-only / TX-only / HAFT overheads, hyper-threading abort
 //! increase, and code coverage.
 
-use haft_bench::{header, overhead, recommended_threshold, row, run_checked, vm_config};
+use haft_bench::{experiment, header, overhead, recommended_threshold, row, vm_config};
 use haft_htm::HtmConfig;
-use haft_passes::{harden, HardenConfig};
+use haft_passes::HardenConfig;
 use haft_workloads::{all_workloads, Scale};
 
 fn main() {
@@ -19,10 +19,13 @@ fn main() {
         let (tx, _) = overhead(w, &HardenConfig::tx_only(), threads);
         let (haft, r) = overhead(w, &HardenConfig::haft(), threads);
         // Hyper-threading: same logical thread count on half the cores.
-        let hardened = harden(&w.module, &HardenConfig::haft());
         let mut smt_cfg = vm_config(threads, recommended_threshold(w.name));
         smt_cfg.htm = HtmConfig { smt: true, ..HtmConfig::default() };
-        let smt = run_checked(w, &hardened, smt_cfg);
+        let smt = experiment(w, threads, recommended_threshold(w.name))
+            .vm(smt_cfg)
+            .harden(HardenConfig::haft())
+            .run()
+            .expect_completed(w.name);
         let base_rate = r.htm.abort_rate_pct().max(0.01);
         let ht_factor = smt.htm.abort_rate_pct().max(0.01) / base_rate;
         let cov = r.htm.coverage_pct();

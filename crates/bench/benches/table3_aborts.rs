@@ -1,9 +1,9 @@
 //! Table 3: abort rate and cause breakdown at the worst-case transaction
 //! size (5000).
 
-use haft_bench::{header, row, run_checked, vm_config};
+use haft_bench::{experiment, header, row};
 use haft_htm::abort::Table3Bucket;
-use haft_passes::{harden, HardenConfig};
+use haft_passes::HardenConfig;
 use haft_workloads::{all_workloads, Scale};
 
 fn main() {
@@ -13,8 +13,10 @@ fn main() {
     );
     header(&["rate%", "capac%", "confl%", "other%"]);
     for w in all_workloads(Scale::Large) {
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        let r = run_checked(&w, &hardened, vm_config(threads, 5000));
+        let r = experiment(&w, threads, 5000)
+            .harden(HardenConfig::haft())
+            .run()
+            .expect_completed(w.name);
         row(
             w.name,
             &[

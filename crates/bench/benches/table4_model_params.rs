@@ -1,8 +1,9 @@
 //! Table 4: fault probabilities feeding the availability model, measured
 //! by an aggregate campaign over the benchmark suite.
 
-use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Outcome};
-use haft_passes::{harden, HardenConfig};
+use haft::Experiment;
+use haft_faults::{CampaignConfig, CampaignReport, Outcome};
+use haft_passes::HardenConfig;
 use haft_vm::VmConfig;
 use haft_workloads::{workload_by_name, Scale};
 
@@ -13,25 +14,20 @@ fn main() {
     println!("\n=== Table 4: fault probabilities (aggregated over {names:?}) ===");
     println!("{:<22}{:>10}{:>10}{:>10}", "probability", "Native", "ILR", "HAFT");
     let mut reports = Vec::new();
-    for hc in [None, Some(HardenConfig::ilr_only()), Some(HardenConfig::haft())] {
+    for hc in [HardenConfig::native(), HardenConfig::ilr_only(), HardenConfig::haft()] {
         let mut agg = CampaignReport::default();
         for name in names {
             let w = workload_by_name(name, Scale::Small).unwrap();
-            let module = match &hc {
-                Some(hc) => harden(&w.module, hc),
-                None => w.module.clone(),
-            };
-            let cfg = CampaignConfig {
-                injections,
-                seed: 0x7AB4,
-                vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
-                ..Default::default()
-            };
-            agg.merge(&run_campaign(&module, w.run_spec(), &cfg));
+            let v = Experiment::workload(&w)
+                .harden(hc.clone())
+                .vm(VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() })
+                .campaign(CampaignConfig { injections, seed: 0x7AB4, ..Default::default() });
+            agg.merge(&v.campaign.unwrap());
         }
         reports.push(agg);
     }
-    let lines: [(&str, fn(&CampaignReport) -> f64); 4] = [
+    type Probe = fn(&CampaignReport) -> f64;
+    let lines: [(&str, Probe); 4] = [
         ("Masked (%)", |r| r.pct(Outcome::Masked)),
         ("SDC (%)", |r| r.pct(Outcome::Sdc)),
         ("Crashed (%)", |r| {

@@ -4,9 +4,14 @@
 //! paper's evaluation; `cargo bench --workspace` runs them all and prints
 //! the same rows/series the paper reports. Absolute numbers come from the
 //! simulator — EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! All measurement goes through the facade's [`Experiment`] pipeline;
+//! this crate only adds the paper's methodology defaults (per-benchmark
+//! transaction thresholds, the fast-CI switch) and table formatting.
 
-use haft_passes::{harden, HardenConfig};
-use haft_vm::{RunOutcome, RunResult, Vm, VmConfig};
+use haft::Experiment;
+use haft_passes::HardenConfig;
+use haft_vm::{RunResult, VmConfig};
 use haft_workloads::Workload;
 
 /// Per-benchmark transaction-size threshold, mirroring the paper's
@@ -37,21 +42,21 @@ pub fn vm_config(threads: usize, threshold: u64) -> VmConfig {
     }
 }
 
-/// Runs one workload module under a VM config; checks completion.
-pub fn run_checked(w: &Workload, module: &haft_ir::module::Module, cfg: VmConfig) -> RunResult {
-    let r = Vm::run(module, cfg, w.run_spec());
-    assert_eq!(r.outcome, RunOutcome::Completed, "{} did not complete", w.name);
-    r
+/// An [`Experiment`] over one workload, pre-wired with the bench VM
+/// configuration. Callers chain `.harden(..)`/`.vm(..)` and a terminal
+/// op.
+pub fn experiment(w: &Workload, threads: usize, threshold: u64) -> Experiment<'_> {
+    Experiment::workload(w).vm(vm_config(threads, threshold))
 }
 
-/// Measures normalized runtime of `hc` over native for one workload.
+/// Measures normalized runtime of `hc` over native for one workload,
+/// using the paper's recommended transaction threshold.
 pub fn overhead(w: &Workload, hc: &HardenConfig, threads: usize) -> (f64, RunResult) {
-    let threshold = recommended_threshold(w.name);
-    let native = run_checked(w, &w.module, vm_config(threads, threshold));
-    let hardened = harden(&w.module, hc);
-    let r = run_checked(w, &hardened, vm_config(threads, threshold));
-    assert_eq!(r.output, native.output, "{}: output diverged", w.name);
-    (r.wall_cycles as f64 / native.wall_cycles as f64, r)
+    let report =
+        experiment(w, threads, recommended_threshold(w.name)).compare(std::slice::from_ref(hc));
+    assert!(report.outputs_agree(), "{}: output diverged or run failed", w.name);
+    let v = report.variants.into_iter().nth(1).unwrap();
+    (v.overhead_vs_native.unwrap(), v.run)
 }
 
 /// Prints a table header row.

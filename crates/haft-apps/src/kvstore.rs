@@ -253,11 +253,12 @@ pub fn memcached(mix: WorkloadMix, sync: KvSync, scale: Scale) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use haft_vm::{RunOutcome, Vm, VmConfig};
+    use haft::Experiment;
+    use haft_vm::{RunOutcome, VmConfig};
 
     fn run(w: &Workload, threads: usize, seed: u64) -> haft_vm::RunResult {
         let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };
-        Vm::run(&w.module, cfg, w.run_spec())
+        Experiment::workload(w).vm(cfg).run().run
     }
 
     #[test]

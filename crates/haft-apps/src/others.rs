@@ -322,12 +322,17 @@ pub fn sqlite(mix: WorkloadMix, scale: Scale) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use haft_passes::{harden, HardenConfig};
-    use haft_vm::{RunOutcome, Vm, VmConfig};
+    use haft::Experiment;
+    use haft_passes::HardenConfig;
+    use haft_vm::{RunOutcome, VmConfig};
+
+    fn exp(w: &Workload, threads: usize, seed: u64) -> Experiment<'_> {
+        let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };
+        Experiment::workload(w).vm(cfg)
+    }
 
     fn run(w: &Workload, threads: usize, seed: u64) -> haft_vm::RunResult {
-        let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };
-        Vm::run(&w.module, cfg, w.run_spec())
+        exp(w, threads, seed).run().run
     }
 
     fn all() -> Vec<Workload> {
@@ -354,45 +359,27 @@ mod tests {
     #[test]
     fn hardened_case_studies_match_native_output() {
         for w in all() {
-            let native = run(&w, 2, 5);
-            let hardened = harden(&w.module, &HardenConfig::haft());
-            let r = run_hardened(&hardened, &w, 2, 5);
-            assert_eq!(r.outcome, RunOutcome::Completed, "{}", w.name);
-            assert_eq!(r.output, native.output, "{}", w.name);
+            let report = exp(&w, 2, 5).compare(&[HardenConfig::haft()]);
+            assert!(report.outputs_agree(), "{}:\n{}", w.name, report.summary());
         }
-    }
-
-    fn run_hardened(
-        m: &haft_ir::module::Module,
-        w: &Workload,
-        threads: usize,
-        seed: u64,
-    ) -> haft_vm::RunResult {
-        let cfg = VmConfig { n_threads: threads, seed, ..Default::default() };
-        Vm::run(m, cfg, w.run_spec())
     }
 
     #[test]
     fn apache_has_low_coverage_and_low_overhead() {
         let w = apache(Scale::Small);
-        let native = run(&w, 2, 3);
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        let r = run_hardened(&hardened, &w, 2, 3);
-        let overhead = r.wall_cycles as f64 / native.wall_cycles as f64;
+        let report = exp(&w, 2, 3).compare(&[HardenConfig::haft()]);
+        let haft = report.variant("HAFT").unwrap();
+        let overhead = haft.overhead_vs_native.unwrap();
         assert!(overhead < 1.6, "apache overhead {overhead}");
-        assert!(r.htm.coverage_pct() < 70.0, "coverage {}", r.htm.coverage_pct());
+        assert!(haft.run.htm.coverage_pct() < 70.0, "coverage {}", haft.run.htm.coverage_pct());
     }
 
     #[test]
     fn sqlite_pays_for_indirect_calls() {
         let sq = sqlite(WorkloadMix::A, Scale::Small);
         let ldb = leveldb(WorkloadMix::A, Scale::Small);
-        let oh = |w: &Workload| {
-            let native = run(w, 2, 3);
-            let hardened = harden(&w.module, &HardenConfig::haft());
-            let r = run_hardened(&hardened, w, 2, 3);
-            r.wall_cycles as f64 / native.wall_cycles as f64
-        };
+        let oh =
+            |w: &Workload| exp(w, 2, 3).compare(&[HardenConfig::haft()]).overhead("HAFT").unwrap();
         let sq_oh = oh(&sq);
         let ldb_oh = oh(&ldb);
         assert!(sq_oh > ldb_oh * 1.5, "sqlite {sq_oh} should far exceed leveldb {ldb_oh}");

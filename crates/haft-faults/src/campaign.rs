@@ -44,7 +44,24 @@ pub fn run_campaign(module: &Module, spec: RunSpec<'_>, cfg: &CampaignConfig) ->
     // Step 1: reference run — trace size and golden output.
     let mut ref_cfg = cfg.vm.clone();
     ref_cfg.fault = None;
-    let golden = Vm::run(module, ref_cfg.clone(), spec);
+    let golden = Vm::run(module, ref_cfg, spec);
+    run_campaign_from(module, spec, cfg, &golden)
+}
+
+/// Like [`run_campaign`], but reuses a `golden` reference run the caller
+/// has already performed (with `cfg.vm` and no fault) instead of
+/// re-executing it. Used by the `haft` facade's `Experiment`, which needs
+/// the reference [`haft_vm::RunResult`] for its own report anyway.
+///
+/// # Panics
+///
+/// Panics if `golden` is not a completed run.
+pub fn run_campaign_from(
+    module: &Module,
+    spec: RunSpec<'_>,
+    cfg: &CampaignConfig,
+    golden: &haft_vm::RunResult,
+) -> CampaignReport {
     assert_eq!(golden.outcome, RunOutcome::Completed, "reference run must complete cleanly");
     let population = golden.register_writes.max(1);
 
@@ -90,7 +107,11 @@ mod tests {
     use haft_ir::inst::Operand;
     use haft_ir::module::GlobalId;
     use haft_ir::types::Ty;
-    use haft_passes::{harden, HardenConfig};
+    use haft_passes::{HardenConfig, PassManager};
+
+    fn harden(m: &Module, cfg: &HardenConfig) -> Module {
+        PassManager::from_config(cfg).run_on(m).0
+    }
 
     /// A small single-threaded reduction program with some dead state
     /// (the scratch global never reaches the output, so faults landing in

@@ -23,6 +23,6 @@ pub mod campaign;
 pub mod classify;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{run_campaign, run_campaign_from, CampaignConfig};
 pub use classify::{classify, Outcome};
 pub use report::CampaignReport;

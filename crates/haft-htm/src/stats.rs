@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use crate::abort::{AbortCause, Table3Bucket};
 
 /// Aggregate transaction statistics for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HtmStats {
     /// Transactions begun (including retries).
     pub started: u64,

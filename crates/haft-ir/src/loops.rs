@@ -77,10 +77,10 @@ impl LoopForest {
         // strictly containing L's header (other than L itself).
         let snapshots: Vec<(BlockId, BTreeSet<BlockId>)> =
             loops.iter().map(|l| (l.header, l.body.clone())).collect();
-        for i in 0..loops.len() {
+        for (i, l) in loops.iter_mut().enumerate() {
             let mut best: Option<usize> = None;
             for (j, (hj, bodyj)) in snapshots.iter().enumerate() {
-                if i == j || !bodyj.contains(&loops[i].header) || *hj == loops[i].header {
+                if i == j || !bodyj.contains(&l.header) || *hj == l.header {
                     continue;
                 }
                 best = match best {
@@ -89,7 +89,7 @@ impl LoopForest {
                     keep => keep,
                 };
             }
-            loops[i].parent = best;
+            l.parent = best;
         }
         // Depths.
         for i in 0..loops.len() {

@@ -385,7 +385,7 @@ impl<'a> Parser<'a> {
                 let args: Vec<Operand> = commas(&rest[open + 1..close])
                     .into_iter()
                     .filter(|s| !s.trim().is_empty())
-                    .map(|s| opnd(s))
+                    .map(&opnd)
                     .collect::<Result<_, _>>()?;
                 let tail = rest[close + 1..].trim();
                 let ret_ty = if let Some(t) = tail.strip_prefix("->") {
@@ -462,7 +462,7 @@ fn split_quoted(s: &str) -> Option<(String, &str)> {
 }
 
 fn parse_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()).collect()

@@ -177,29 +177,27 @@ pub fn verify_func(f: &Function, sigs: &[FnSig], globals: &[Global]) -> Result<(
                     expect_ty(f, name, new, *ty, &mut errs);
                 }
                 Op::CondBr { cond, .. } => expect_ty(f, name, cond, Ty::I1, &mut errs),
-                Op::Call { callee, args, ret_ty } => {
-                    if let Callee::Direct(fid) = callee {
-                        match sigs.get(fid.0 as usize) {
-                            None => errs.push(format!("{name}: call to bogus function {fid:?}")),
-                            Some(sig) => {
-                                if sig.params.len() != args.len() {
-                                    errs.push(format!(
-                                        "{name}: call to #{} with {} args, expected {}",
-                                        fid.0,
-                                        args.len(),
-                                        sig.params.len()
-                                    ));
-                                } else {
-                                    for (a, ty) in args.iter().zip(&sig.params) {
-                                        expect_ty(f, name, a, *ty, &mut errs);
-                                    }
+                Op::Call { callee: Callee::Direct(fid), args, ret_ty } => {
+                    match sigs.get(fid.0 as usize) {
+                        None => errs.push(format!("{name}: call to bogus function {fid:?}")),
+                        Some(sig) => {
+                            if sig.params.len() != args.len() {
+                                errs.push(format!(
+                                    "{name}: call to #{} with {} args, expected {}",
+                                    fid.0,
+                                    args.len(),
+                                    sig.params.len()
+                                ));
+                            } else {
+                                for (a, ty) in args.iter().zip(&sig.params) {
+                                    expect_ty(f, name, a, *ty, &mut errs);
                                 }
-                                if sig.ret_ty != *ret_ty {
-                                    errs.push(format!(
-                                        "{name}: call to #{} return-type mismatch",
-                                        fid.0
-                                    ));
-                                }
+                            }
+                            if sig.ret_ty != *ret_ty {
+                                errs.push(format!(
+                                    "{name}: call to #{} return-type mismatch",
+                                    fid.0
+                                ));
                             }
                         }
                     }

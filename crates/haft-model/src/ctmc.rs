@@ -121,10 +121,10 @@ impl Ctmc {
         let mut v = vec![1.0 / self.n as f64; self.n];
         for _ in 0..200_000 {
             let mut next = vec![0.0; self.n];
-            for i in 0..self.n {
-                for j in 0..self.n {
+            for (i, vi) in v.iter().enumerate() {
+                for (j, nj) in next.iter_mut().enumerate() {
                     let p = self.q[i * self.n + j] / lambda + if i == j { 1.0 } else { 0.0 };
-                    next[j] += v[i] * p;
+                    *nj += vi * p;
                 }
             }
             let mut diff = 0.0;

@@ -20,6 +20,11 @@
 //!   optimization, pessimistic splits around external calls and
 //!   transaction-unfriendly operations, and the begin/end peephole.
 //!
+//! * [`manager`] — the trait-based pass pipeline: [`Pass`] is the unit of
+//!   composition, [`PassManager`] owns ordering, per-pass instruction
+//!   deltas ([`PassStats`]), and debug-build IR verification at every
+//!   pass boundary.
+//!
 //! * [`pipeline`] — configuration plumbing: compose the passes into the
 //!   paper's evaluated variants (native / ILR-only / TX-only / HAFT) and
 //!   the cumulative optimization levels of Figure 7.
@@ -30,7 +35,7 @@
 //! use haft_ir::builder::FunctionBuilder;
 //! use haft_ir::module::Module;
 //! use haft_ir::types::Ty;
-//! use haft_passes::pipeline::{harden, HardenConfig};
+//! use haft_passes::{HardenConfig, PassManager};
 //!
 //! let mut m = Module::new("demo");
 //! let mut fb = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
@@ -39,17 +44,22 @@
 //! fb.ret(Some(y.into()));
 //! m.push_func(fb.finish());
 //!
-//! let hardened = harden(&m, &HardenConfig::haft());
+//! let (hardened, stats) = PassManager::from_config(&HardenConfig::haft()).run_on(&m);
 //! assert!(haft_ir::verify::verify_module(&hardened).is_ok());
-//! // The hardened function contains the shadow flow and transaction
-//! // boundaries, so it is strictly larger.
+//! // Both passes grew the function: the shadow flow and the transaction
+//! // boundaries.
+//! assert_eq!(stats.pass_names(), vec!["ilr", "tx"]);
 //! assert!(hardened.total_inst_count() > m.total_inst_count());
 //! ```
 
 pub mod ilr;
+pub mod manager;
 pub mod pipeline;
 pub mod tx;
 
 pub use ilr::IlrConfig;
-pub use pipeline::{harden, HardenConfig, OptLevel};
+pub use manager::{IlrPass, Pass, PassManager, PassRecord, PassStats, TxPass};
+#[allow(deprecated)]
+pub use pipeline::harden;
+pub use pipeline::{HardenConfig, OptLevel};
 pub use tx::TxConfig;

@@ -1,0 +1,309 @@
+//! Trait-based pass management.
+//!
+//! The paper's pipeline is a fixed two-pass sequence (ILR then TX), but
+//! everything downstream — the `Experiment` API in the `haft` facade, the
+//! bench harness, ablations — wants to compose, reorder, and instrument
+//! passes uniformly. [`Pass`] is the unit of composition; [`PassManager`]
+//! owns ordering, optional IR verification at every pass boundary, and
+//! per-pass instruction-delta accounting in [`PassStats`].
+//!
+//! ```
+//! use haft_ir::builder::FunctionBuilder;
+//! use haft_ir::module::Module;
+//! use haft_ir::types::Ty;
+//! use haft_passes::{HardenConfig, PassManager};
+//!
+//! let mut m = Module::new("demo");
+//! let mut fb = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+//! let x = fb.param(0);
+//! let y = fb.add(Ty::I64, x, fb.iconst(Ty::I64, 1));
+//! fb.ret(Some(y.into()));
+//! m.push_func(fb.finish());
+//!
+//! let (hardened, stats) = PassManager::from_config(&HardenConfig::haft()).run_on(&m);
+//! assert_eq!(stats.pass_names(), vec!["ilr", "tx"]);
+//! // Both passes add instructions: the shadow flow and the tx brackets.
+//! assert!(stats.records.iter().all(|r| r.added() > 0));
+//! assert_eq!(hardened.total_inst_count() as i64,
+//!            m.total_inst_count() as i64 + stats.total_added());
+//! ```
+
+use haft_ir::module::Module;
+use haft_ir::verify::verify_module;
+
+use crate::ilr::{run_ilr_module, IlrConfig};
+use crate::tx::{run_tx_module, TxConfig};
+
+/// What one pass did to the module, measured by the manager around the
+/// pass's `run` call.
+#[derive(Clone, Debug)]
+pub struct PassRecord {
+    /// The pass's [`Pass::name`].
+    pub name: &'static str,
+    /// Module-wide instruction count before the pass ran.
+    pub insts_before: usize,
+    /// Module-wide instruction count after the pass ran.
+    pub insts_after: usize,
+}
+
+impl PassRecord {
+    /// Net instructions added (negative when the pass shrank the module).
+    pub fn added(&self) -> i64 {
+        self.insts_after as i64 - self.insts_before as i64
+    }
+}
+
+/// Accumulated statistics for one pipeline run.
+///
+/// The manager appends one [`PassRecord`] per pass; passes themselves may
+/// additionally publish named counters through [`PassStats::bump`] (e.g.
+/// how many functions they transformed).
+#[derive(Clone, Debug, Default)]
+pub struct PassStats {
+    /// One record per executed pass, in execution order.
+    pub records: Vec<PassRecord>,
+    /// Pass-published counters, in publication order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl PassStats {
+    /// Adds `n` to the named pass-published counter.
+    pub fn bump(&mut self, name: &'static str, n: u64) {
+        match self.counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => self.counters.push((name, n)),
+        }
+    }
+
+    /// Reads a pass-published counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    /// Names of the executed passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.records.iter().map(|r| r.name).collect()
+    }
+
+    /// Net instruction delta of one pass, if it ran.
+    pub fn added_by(&self, pass: &str) -> Option<i64> {
+        self.records.iter().find(|r| r.name == pass).map(|r| r.added())
+    }
+
+    /// Net instruction delta over the whole pipeline.
+    pub fn total_added(&self) -> i64 {
+        self.records.iter().map(|r| r.added()).sum()
+    }
+}
+
+/// An IR-to-IR transformation that can be sequenced by a [`PassManager`].
+pub trait Pass {
+    /// Stable identifier used in stats, verification panics, and reports.
+    fn name(&self) -> &'static str;
+    /// Transforms `m` in place. `stats` is for pass-published counters;
+    /// instruction deltas are recorded by the manager.
+    fn run(&self, m: &mut Module, stats: &mut PassStats);
+}
+
+/// The ILR pass as a managed [`Pass`] (paper §3.2/§3.3).
+#[derive(Clone, Debug, Default)]
+pub struct IlrPass(pub IlrConfig);
+
+impl Pass for IlrPass {
+    fn name(&self) -> &'static str {
+        "ilr"
+    }
+
+    fn run(&self, m: &mut Module, stats: &mut PassStats) {
+        let transformed = m.funcs.iter().filter(|f| !f.attrs.external).count() as u64;
+        run_ilr_module(m, &self.0);
+        stats.bump("ilr.functions", transformed);
+    }
+}
+
+/// The transactification pass as a managed [`Pass`] (paper §3.1/§3.3).
+#[derive(Clone, Debug, Default)]
+pub struct TxPass(pub TxConfig);
+
+impl Pass for TxPass {
+    fn name(&self) -> &'static str {
+        "tx"
+    }
+
+    fn run(&self, m: &mut Module, stats: &mut PassStats) {
+        let transformed = m.funcs.iter().filter(|f| !f.attrs.external).count() as u64;
+        run_tx_module(m, &self.0);
+        stats.bump("tx.functions", transformed);
+    }
+}
+
+/// Owns a pass sequence: ordering, boundary verification, stats.
+///
+/// By default the manager re-verifies the module after every pass **in
+/// debug builds** (`debug_assertions`), so SSA or type breakage is caught
+/// at the pass boundary that introduced it instead of deep inside the VM.
+/// Release builds skip verification unless [`PassManager::verify`]
+/// requests it.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_between: bool,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PassManager {
+    /// An empty pipeline with default (debug-only) boundary verification.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new(), verify_between: cfg!(debug_assertions) }
+    }
+
+    /// The paper's pipeline for one evaluated variant: ILR if configured,
+    /// then TX if configured.
+    pub fn from_config(cfg: &crate::pipeline::HardenConfig) -> Self {
+        let mut pm = Self::new();
+        if let Some(ilr) = &cfg.ilr {
+            pm = pm.with_pass(IlrPass(ilr.clone()));
+        }
+        if let Some(tx) = &cfg.tx {
+            pm = pm.with_pass(TxPass(tx.clone()));
+        }
+        pm
+    }
+
+    /// Appends a pass to the sequence.
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Forces boundary verification on or off, overriding the debug-build
+    /// default.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify_between = on;
+        self
+    }
+
+    /// Number of passes in the sequence.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True when the sequence is empty (the native baseline).
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs the sequence in place over `m`.
+    ///
+    /// # Panics
+    ///
+    /// With boundary verification enabled, panics naming the offending
+    /// pass if the module fails [`verify_module`] at any pass boundary.
+    pub fn run(&self, m: &mut Module) -> PassStats {
+        let mut stats = PassStats::default();
+        for pass in &self.passes {
+            let before = m.total_inst_count();
+            pass.run(m, &mut stats);
+            stats.records.push(PassRecord {
+                name: pass.name(),
+                insts_before: before,
+                insts_after: m.total_inst_count(),
+            });
+            if self.verify_between {
+                if let Err(errs) = verify_module(m) {
+                    panic!("module invalid after pass `{}`: {errs:?}", pass.name());
+                }
+            }
+        }
+        stats
+    }
+
+    /// Runs the sequence on a copy of `m`, returning the transformed
+    /// module and the stats.
+    pub fn run_on(&self, m: &Module) -> (Module, PassStats) {
+        let mut out = m.clone();
+        let stats = self.run(&mut out);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::HardenConfig;
+    use haft_ir::builder::FunctionBuilder;
+    use haft_ir::types::Ty;
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let x = fb.param(0);
+        let y = fb.mul(Ty::I64, x, fb.iconst(Ty::I64, 3));
+        fb.ret(Some(y.into()));
+        m.push_func(fb.finish());
+        m
+    }
+
+    #[test]
+    fn from_config_mirrors_variant_shape() {
+        assert!(PassManager::from_config(&HardenConfig::native()).is_empty());
+        assert_eq!(PassManager::from_config(&HardenConfig::ilr_only()).len(), 1);
+        assert_eq!(PassManager::from_config(&HardenConfig::haft()).len(), 2);
+    }
+
+    #[test]
+    fn records_per_pass_deltas_in_order() {
+        let m = module();
+        let (out, stats) = PassManager::from_config(&HardenConfig::haft()).run_on(&m);
+        assert_eq!(stats.pass_names(), vec!["ilr", "tx"]);
+        assert!(stats.added_by("ilr").unwrap() > 0, "{stats:?}");
+        assert!(stats.added_by("tx").unwrap() > 0, "{stats:?}");
+        assert_eq!(
+            out.total_inst_count() as i64,
+            m.total_inst_count() as i64 + stats.total_added()
+        );
+        // Deltas chain: pass N+1 starts where pass N ended.
+        assert_eq!(stats.records[1].insts_before, stats.records[0].insts_after);
+    }
+
+    #[test]
+    fn passes_publish_counters() {
+        let (_, stats) = PassManager::from_config(&HardenConfig::haft()).run_on(&module());
+        assert_eq!(stats.counter("ilr.functions"), Some(1));
+        assert_eq!(stats.counter("tx.functions"), Some(1));
+        assert_eq!(stats.counter("nope"), None);
+    }
+
+    #[test]
+    fn empty_manager_is_identity() {
+        let m = module();
+        let (out, stats) = PassManager::new().run_on(&m);
+        assert_eq!(out.total_inst_count(), m.total_inst_count());
+        assert!(stats.records.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "module invalid after pass `breaker`")]
+    fn boundary_verification_names_the_offending_pass() {
+        struct Breaker;
+        impl Pass for Breaker {
+            fn name(&self) -> &'static str {
+                "breaker"
+            }
+            fn run(&self, m: &mut Module, _stats: &mut PassStats) {
+                // Truncate the terminator off every block: invalid IR.
+                for f in &mut m.funcs {
+                    for b in &mut f.blocks {
+                        b.insts.clear();
+                    }
+                }
+            }
+        }
+        let mut m = module();
+        PassManager::new().verify(true).with_pass(Breaker).run(&mut m);
+    }
+}

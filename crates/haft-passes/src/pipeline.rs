@@ -2,8 +2,8 @@
 
 use haft_ir::module::Module;
 
-use crate::ilr::{run_ilr_module, IlrConfig};
-use crate::tx::{run_tx_module, TxConfig};
+use crate::ilr::IlrConfig;
+use crate::tx::TxConfig;
 
 /// Cumulative optimization levels of Figure 7 / Figure 9 (right).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,11 +72,7 @@ impl HardenConfig {
 
     /// Full HAFT with the lock-elision wrapper enabled.
     pub fn haft_with_elision() -> Self {
-        let mut c = Self::haft();
-        if let Some(tx) = &mut c.tx {
-            tx.lock_elision = true;
-        }
-        c
+        Self::haft().with_lock_elision()
     }
 
     /// HAFT at one of Figure 7's cumulative optimization levels.
@@ -92,24 +88,95 @@ impl HardenConfig {
     }
 
     /// Disables the TX local-call optimization (the paper's `vips-nc`).
+    ///
+    /// Debug-asserts that the TX pass is enabled: on a TX-less config the
+    /// modifier has nothing to modify, and silently returning `self`
+    /// unchanged would let a benchmark sweep report a "no local calls"
+    /// variant that is actually the base variant.
     pub fn without_local_calls(mut self) -> Self {
-        if let Some(tx) = &mut self.tx {
-            tx.local_calls_opt = false;
+        match &mut self.tx {
+            Some(tx) => tx.local_calls_opt = false,
+            None => debug_assert!(
+                false,
+                "without_local_calls on a config with the TX pass disabled is a no-op"
+            ),
         }
         self
+    }
+
+    /// Keeps lock/unlock inside transactions so the VM's run-time
+    /// lock-elision wrapper can elide them (paper §3.3).
+    ///
+    /// Debug-asserts that the TX pass is enabled, like
+    /// [`HardenConfig::without_local_calls`].
+    pub fn with_lock_elision(mut self) -> Self {
+        match &mut self.tx {
+            Some(tx) => tx.lock_elision = true,
+            None => debug_assert!(
+                false,
+                "with_lock_elision on a config with the TX pass disabled is a no-op"
+            ),
+        }
+        self
+    }
+
+    /// Short human-readable name for reports: the paper's variant name
+    /// (`native`/`ILR`/`TX`/`HAFT`) plus suffixes for every disabled
+    /// refinement (`-sm`, `-cf`, `-fp`, `-ce`, `-nc`, `-ph`), `+el` for
+    /// lock elision, and `+bl<n>` for an `n`-entry TX blacklist.
+    /// Distinct configs get distinct labels, except for blacklists that
+    /// differ only in their entries (the label encodes the count).
+    pub fn label(&self) -> String {
+        let mut s = String::from(match (&self.ilr, &self.tx) {
+            (None, None) => "native",
+            (Some(_), None) => "ILR",
+            (None, Some(_)) => "TX",
+            (Some(_), Some(_)) => "HAFT",
+        });
+        if let Some(ilr) = &self.ilr {
+            if !ilr.shared_mem_opt {
+                s.push_str("-sm");
+            }
+            if !ilr.control_flow_protection {
+                s.push_str("-cf");
+            }
+            if !ilr.fault_prop_check {
+                s.push_str("-fp");
+            }
+            if !ilr.check_elision {
+                s.push_str("-ce");
+            }
+        }
+        if let Some(tx) = &self.tx {
+            if !tx.local_calls_opt {
+                s.push_str("-nc");
+            }
+            if !tx.peephole {
+                s.push_str("-ph");
+            }
+            if tx.lock_elision {
+                s.push_str("+el");
+            }
+            if !tx.blacklist.is_empty() {
+                s.push_str(&format!("+bl{}", tx.blacklist.len()));
+            }
+        }
+        s
     }
 }
 
 /// Applies the configured passes to a copy of `m`.
+///
+/// Compat shim over [`crate::PassManager::from_config`]: it discards the
+/// [`crate::PassStats`] and keeps the pre-`PassManager` signature. New
+/// code should drive `PassManager` directly, or the `Experiment` builder
+/// in the `haft` facade for whole harden-and-run pipelines.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PassManager::from_config(cfg).run_on(m) or haft::Experiment"
+)]
 pub fn harden(m: &Module, cfg: &HardenConfig) -> Module {
-    let mut out = m.clone();
-    if let Some(ilr) = &cfg.ilr {
-        run_ilr_module(&mut out, ilr);
-    }
-    if let Some(tx) = &cfg.tx {
-        run_tx_module(&mut out, tx);
-    }
-    out
+    crate::manager::PassManager::from_config(cfg).run_on(m).0
 }
 
 #[cfg(test)]
@@ -144,5 +211,30 @@ mod tests {
     fn labels() {
         let labels: Vec<&str> = OptLevel::ALL.iter().map(|l| l.label()).collect();
         assert_eq!(labels, vec!["N", "S", "C", "L", "F"]);
+    }
+
+    #[test]
+    fn config_labels_name_variant_and_deviations() {
+        assert_eq!(HardenConfig::native().label(), "native");
+        assert_eq!(HardenConfig::ilr_only().label(), "ILR");
+        assert_eq!(HardenConfig::tx_only().label(), "TX");
+        assert_eq!(HardenConfig::haft().label(), "HAFT");
+        assert_eq!(HardenConfig::haft_with_elision().label(), "HAFT+el");
+        assert_eq!(HardenConfig::haft().without_local_calls().label(), "HAFT-nc");
+        assert_eq!(HardenConfig::at_opt_level(OptLevel::None).label(), "HAFT-sm-cf-fp-nc");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "without_local_calls")]
+    fn modifier_on_disabled_pass_is_rejected() {
+        let _ = HardenConfig::ilr_only().without_local_calls();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "with_lock_elision")]
+    fn elision_modifier_on_disabled_pass_is_rejected() {
+        let _ = HardenConfig::native().with_lock_elision();
     }
 }

@@ -51,7 +51,7 @@ impl Default for TxConfig {
 /// Applies TX to every non-external function of the module.
 pub fn run_tx_module(m: &mut Module, cfg: &TxConfig) {
     for f in &mut m.funcs {
-        if cfg.blacklist.iter().any(|n| *n == f.name) {
+        if cfg.blacklist.contains(&f.name) {
             f.attrs.local = false;
         }
     }
@@ -190,7 +190,7 @@ fn instrument_loops(f: &mut Function) {
         }
     }
     // Apply bottom-up so earlier positions stay valid.
-    insertions.sort_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+    insertions.sort_by_key(|&(b, pos, _)| std::cmp::Reverse((b, pos)));
     for (b, pos, op) in insertions {
         let (iid, _) = f.create_inst(op);
         f.blocks[b.0 as usize].insts.insert(pos, iid);

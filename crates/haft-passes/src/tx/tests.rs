@@ -291,7 +291,8 @@ fn transactified_program_runs_correctly_with_commits() {
 
 #[test]
 fn full_haft_pipeline_preserves_semantics_and_recovers() {
-    use crate::pipeline::{harden, HardenConfig};
+    use crate::manager::PassManager;
+    use crate::pipeline::HardenConfig;
     use haft_vm::FaultPlan;
 
     let mut m = Module::new("t");
@@ -314,7 +315,7 @@ fn full_haft_pipeline_preserves_semantics_and_recovers() {
     fb.ret(None);
     m.push_func(fb.finish());
 
-    let hardened = harden(&m, &HardenConfig::haft());
+    let (hardened, _) = PassManager::from_config(&HardenConfig::haft()).run_on(&m);
     verify_module(&hardened).unwrap_or_else(|e| panic!("{e:?}"));
     let spec = RunSpec { fini: Some("fini"), ..Default::default() };
     let base = Vm::run(&m, VmConfig::default(), spec);

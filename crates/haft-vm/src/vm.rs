@@ -101,7 +101,7 @@ pub enum RunOutcome {
 }
 
 /// Everything measured during one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     pub outcome: RunOutcome,
     /// Emitted output, per-thread streams concatenated in thread order.

@@ -1,6 +1,7 @@
 //! Dev probe: per-workload overheads and abort profiles.
-use haft_passes::{harden, HardenConfig};
-use haft_vm::{RunOutcome, Vm, VmConfig};
+use haft::Experiment;
+use haft_passes::HardenConfig;
+use haft_vm::VmConfig;
 use haft_workloads::{all_workloads, Scale};
 
 fn main() {
@@ -10,32 +11,23 @@ fn main() {
         "bench", "nat Mcyc", "IPC", "ILR", "TX", "HAFT", "abort%", "cov%"
     );
     for w in all_workloads(Scale::Large) {
-        let cfg = |tx: u64| VmConfig { n_threads: threads, tx_threshold: tx, ..Default::default() };
-        let nat = Vm::run(&w.module, cfg(1000), w.run_spec());
-        assert_eq!(nat.outcome, RunOutcome::Completed, "{} native", w.name);
+        let report = Experiment::workload(&w)
+            .vm(VmConfig { n_threads: threads, tx_threshold: 1000, ..Default::default() })
+            .compare(&[HardenConfig::ilr_only(), HardenConfig::tx_only(), HardenConfig::haft()]);
+        assert!(report.outputs_agree(), "{}: output diverged or run failed", w.name);
+        let nat = &report.baseline().run;
         let ipc = nat.instructions as f64 / nat.cpu_cycles as f64;
-        let mut row = vec![];
-        for hc in [HardenConfig::ilr_only(), HardenConfig::tx_only(), HardenConfig::haft()] {
-            let hm = harden(&w.module, &hc);
-            let r = Vm::run(&hm, cfg(1000), w.run_spec());
-            assert_eq!(r.outcome, RunOutcome::Completed, "{} hardened", w.name);
-            assert_eq!(r.output, nat.output, "{}", w.name);
-            row.push((
-                r.wall_cycles as f64 / nat.wall_cycles as f64,
-                r.htm.abort_rate_pct(),
-                r.htm.coverage_pct(),
-            ));
-        }
+        let haft = report.variant("HAFT").unwrap();
         println!(
             "{:<14} {:>8.2} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>7.2} {:>6.1}",
             w.name,
             nat.wall_cycles as f64 / 1e6,
             ipc,
-            row[0].0,
-            row[1].0,
-            row[2].0,
-            row[2].1,
-            row[2].2
+            report.overhead("ILR").unwrap(),
+            report.overhead("TX").unwrap(),
+            report.overhead("HAFT").unwrap(),
+            haft.run.htm.abort_rate_pct(),
+            haft.run.htm.coverage_pct()
         );
     }
 }

@@ -65,9 +65,14 @@ pub fn fixpoint(fb: &mut FunctionBuilder, v: ValueId) -> ValueId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use haft::Experiment;
     use haft_ir::module::Module;
     use haft_ir::verify::verify_module;
-    use haft_vm::{RunOutcome, RunSpec, Vm, VmConfig};
+    use haft_vm::{RunSpec, VmConfig};
+
+    fn fini_spec() -> RunSpec<'static> {
+        RunSpec { fini: Some("fini"), ..Default::default() }
+    }
 
     #[test]
     fn thread_slice_partitions_exactly() {
@@ -83,9 +88,11 @@ mod tests {
         fb.ret(None);
         m.push_func(fb.finish());
         verify_module(&m).unwrap();
-        let cfg = VmConfig { n_threads: 3, ..Default::default() };
-        let r = Vm::run(&m, cfg, RunSpec { worker: Some("worker"), ..Default::default() });
-        assert_eq!(r.outcome, RunOutcome::Completed);
+        let r = Experiment::new(&m)
+            .vm(VmConfig { n_threads: 3, ..Default::default() })
+            .spec(RunSpec { worker: Some("worker"), ..Default::default() })
+            .run()
+            .expect_completed("thread_slice");
         assert_eq!(r.output, vec![0, 3, 3, 6, 6, 10]);
     }
 
@@ -101,8 +108,7 @@ mod tests {
             emit_checksum_i64(&mut fb, g, 4);
             fb.ret(None);
             m.push_func(fb.finish());
-            Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() })
-                .output
+            Experiment::new(&m).spec(fini_spec()).run().run.output
         };
         assert_ne!(run_with(1), run_with(2));
         assert_eq!(run_with(5), run_with(5));
@@ -118,8 +124,7 @@ mod tests {
         fb.emit_out(Ty::I64, s1);
         fb.ret(None);
         m.push_func(fb.finish());
-        let r =
-            Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
+        let r = Experiment::new(&m).spec(fini_spec()).run().run;
         let mut x = 0x1234_5678u64;
         x ^= x << 13;
         x ^= x >> 7;
@@ -137,8 +142,7 @@ mod tests {
         fb.emit_out(Ty::I64, fx);
         fb.ret(None);
         m.push_func(fb.finish());
-        let r =
-            Vm::run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
+        let r = Experiment::new(&m).spec(fini_spec()).run().run;
         assert_eq!(r.output, vec![1234]);
     }
 }

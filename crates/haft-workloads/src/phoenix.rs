@@ -242,7 +242,7 @@ pub fn linearreg(scale: Scale) -> Workload {
     f.set_non_local();
     // Merge partials and emit the regression sums plus slope numerator.
     let acc = f.alloc(f.iconst(Ty::I64, 32));
-    f.counted_loop(f.iconst(Ty::I64, 0), f.iconst(Ty::I64, MAX_THREADS as i64), |b, t| {
+    f.counted_loop(f.iconst(Ty::I64, 0), f.iconst(Ty::I64, MAX_THREADS), |b, t| {
         let row = b.gep(Operand::GlobalAddr(partial), t, 64, 0);
         for c in 0..4 {
             let cell = b.gep(row, b.iconst(Ty::I64, c), 8, 0);

@@ -1,10 +1,11 @@
 //! Workload integration tests: every kernel verifies, runs, is
 //! schedule-independent, and survives the full HAFT pipeline unchanged.
 
+use haft::Experiment;
 use haft_ir::verify::verify_module;
-use haft_passes::{harden, HardenConfig};
-use haft_vm::{RunOutcome, Vm, VmConfig};
-use haft_workloads::{all_workloads, workload_by_name, Scale, WORKLOAD_NAMES};
+use haft_passes::HardenConfig;
+use haft_vm::VmConfig;
+use haft_workloads::{all_workloads, workload_by_name, Scale, Workload, WORKLOAD_NAMES};
 
 fn cfg(threads: usize, seed: u64) -> VmConfig {
     VmConfig {
@@ -14,6 +15,10 @@ fn cfg(threads: usize, seed: u64) -> VmConfig {
         max_instructions: 400_000_000,
         ..Default::default()
     }
+}
+
+fn exp(w: &Workload, threads: usize, seed: u64) -> Experiment<'_> {
+    Experiment::workload(w).vm(cfg(threads, seed))
 }
 
 #[test]
@@ -26,8 +31,7 @@ fn all_workloads_verify() {
 #[test]
 fn all_workloads_complete_natively_and_produce_output() {
     for w in all_workloads(Scale::Small) {
-        let r = Vm::run(&w.module, cfg(2, 1), w.run_spec());
-        assert_eq!(r.outcome, RunOutcome::Completed, "{}", w.name);
+        let r = exp(&w, 2, 1).run().expect_completed(w.name);
         assert!(!r.output.is_empty(), "{} must emit output", w.name);
         assert!(r.instructions > 1000, "{} too trivial", w.name);
     }
@@ -40,9 +44,8 @@ fn outputs_are_schedule_independent() {
     // for violating this). Different scheduler seeds must give identical
     // output.
     for w in all_workloads(Scale::Small) {
-        let a = Vm::run(&w.module, cfg(3, 101), w.run_spec());
-        let b = Vm::run(&w.module, cfg(3, 202), w.run_spec());
-        assert_eq!(a.outcome, RunOutcome::Completed, "{}", w.name);
+        let a = exp(&w, 3, 101).run().expect_completed(w.name);
+        let b = exp(&w, 3, 202).run().expect_completed(w.name);
         assert_eq!(a.output, b.output, "{} output depends on schedule", w.name);
     }
 }
@@ -50,12 +53,12 @@ fn outputs_are_schedule_independent() {
 #[test]
 fn hardened_workloads_match_native_output() {
     for w in all_workloads(Scale::Small) {
-        let native = Vm::run(&w.module, cfg(2, 7), w.run_spec());
-        assert_eq!(native.outcome, RunOutcome::Completed, "{} native", w.name);
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        verify_module(&hardened).unwrap_or_else(|e| panic!("{} hardened: {e:?}", w.name));
-        let r = Vm::run(&hardened, cfg(2, 7), w.run_spec());
-        assert_eq!(r.outcome, RunOutcome::Completed, "{} hardened", w.name);
+        let native = exp(&w, 2, 7).run().expect_completed(w.name);
+        // The PassManager re-verifies the module at every pass boundary
+        // in this (debug) build, replacing the old manual verify call.
+        let v = exp(&w, 2, 7).harden(HardenConfig::haft()).run();
+        assert!(v.pass_stats.total_added() > 0, "{} hardening must add instructions", w.name);
+        let r = v.expect_completed(w.name);
         assert_eq!(r.output, native.output, "{} output changed by HAFT", w.name);
         assert!(r.instructions > native.instructions, "{} hardening must add instructions", w.name);
         assert!(r.htm.commits > 0, "{} must commit transactions", w.name);
@@ -66,10 +69,8 @@ fn hardened_workloads_match_native_output() {
 fn ilr_only_also_preserves_output() {
     for name in ["histogram", "linearreg", "matrixmul", "wordcount", "x264"] {
         let w = workload_by_name(name, Scale::Small).unwrap();
-        let native = Vm::run(&w.module, cfg(2, 9), w.run_spec());
-        let hardened = harden(&w.module, &HardenConfig::ilr_only());
-        let r = Vm::run(&hardened, cfg(2, 9), w.run_spec());
-        assert_eq!(r.outcome, RunOutcome::Completed, "{name}");
+        let native = exp(&w, 2, 9).run().expect_completed(name);
+        let r = exp(&w, 2, 9).harden(HardenConfig::ilr_only()).run().expect_completed(name);
         assert_eq!(r.output, native.output, "{name}");
     }
 }
@@ -80,10 +81,7 @@ fn sharing_variants_differ_in_conflict_profile() {
     // kmeans-ns (privatized) under the same HAFT config.
     let shared = workload_by_name("kmeans", Scale::Small).unwrap();
     let ns = workload_by_name("kmeans-ns", Scale::Small).unwrap();
-    let run = |w: &haft_workloads::Workload| {
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        Vm::run(&hardened, cfg(4, 3), w.run_spec())
-    };
+    let run = |w: &Workload| exp(w, 4, 3).harden(HardenConfig::haft()).run().run;
     let rs = run(&shared);
     let rn = run(&ns);
     let conflicts = |r: &haft_vm::RunResult| {

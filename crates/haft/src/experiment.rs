@@ -1,0 +1,318 @@
+//! The `Experiment` pipeline: HAFT's evaluation grid as a fluent API.
+//!
+//! The paper's evaluation is a grid of experiments — {native, ILR, TX,
+//! HAFT} × optimization levels × transaction sizes × workloads × fault
+//! campaigns. An [`Experiment`] captures one cell of that grid (a module,
+//! a harden configuration, a VM configuration, and entry points) and the
+//! terminal operations run it:
+//!
+//! * [`Experiment::run`] — harden and execute once.
+//! * [`Experiment::run_with_fault`] — same, with a single-event upset
+//!   injected mid-trace.
+//! * [`Experiment::campaign`] — a full fault-injection campaign
+//!   (reference run + N classified injections).
+//! * [`Experiment::compare`] — run several harden configurations
+//!   side-by-side against the shared native baseline and report
+//!   overheads.
+//!
+//! Every terminal op reports through [`VariantReport`] /
+//! [`ExperimentReport`]: outputs, overhead vs native, per-pass
+//! instruction deltas, transaction/abort statistics, and (for campaigns)
+//! the Table 1 outcome histogram.
+
+use haft_faults::{run_campaign_from, CampaignConfig, CampaignReport};
+use haft_ir::module::Module;
+use haft_passes::{HardenConfig, PassManager, PassStats};
+use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+use haft_workloads::Workload;
+
+/// One harden-and-run pipeline over a borrowed module.
+///
+/// Construction never executes anything; the terminal ops do. The
+/// borrowed module is never mutated — hardening always transforms a
+/// copy, built lazily on the first terminal op and cached, so fault
+/// sweeps that call [`Experiment::run_with_fault`] in a loop harden
+/// once, not once per injection. Changing the harden configuration
+/// invalidates the cache; VM/spec changes keep it.
+#[derive(Clone, Debug)]
+pub struct Experiment<'a> {
+    module: &'a Module,
+    cfg: HardenConfig,
+    vm: VmConfig,
+    spec: RunSpec<'a>,
+    built: std::cell::OnceCell<(Module, PassStats)>,
+}
+
+impl<'a> Experiment<'a> {
+    /// An experiment over `module`: native (no hardening), default VM,
+    /// empty run spec.
+    pub fn new(module: &'a Module) -> Self {
+        Experiment {
+            module,
+            cfg: HardenConfig::native(),
+            vm: VmConfig::default(),
+            spec: RunSpec::default(),
+            built: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// An experiment over a benchmark [`Workload`]: its module and its
+    /// entry points.
+    pub fn workload(w: &'a Workload) -> Self {
+        Self::new(&w.module).spec(w.run_spec())
+    }
+
+    /// Sets the harden configuration (default: native).
+    pub fn harden(mut self, cfg: HardenConfig) -> Self {
+        self.cfg = cfg;
+        self.built = std::cell::OnceCell::new();
+        self
+    }
+
+    /// Sets the whole VM configuration (default: [`VmConfig::default`]).
+    pub fn vm(mut self, vm: VmConfig) -> Self {
+        self.vm = vm;
+        self
+    }
+
+    /// Sets the program entry points.
+    pub fn spec(mut self, spec: RunSpec<'a>) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Convenience: simulated thread count for the parallel phase.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.vm.n_threads = n;
+        self
+    }
+
+    /// Convenience: the transaction-size threshold (paper §5.3).
+    pub fn tx_threshold(mut self, t: u64) -> Self {
+        self.vm.tx_threshold = t;
+        self
+    }
+
+    /// Convenience: the VM's run-time lock-elision wrapper. (Pass-side
+    /// elision is configured via [`HardenConfig::haft_with_elision`].)
+    pub fn lock_elision(mut self, on: bool) -> Self {
+        self.vm.lock_elision = on;
+        self
+    }
+
+    /// Convenience: the scheduler seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.vm.seed = seed;
+        self
+    }
+
+    /// Hardens a copy of the module (without running it) and returns it
+    /// with the per-pass stats. Useful when only the transformed IR is
+    /// needed — static instruction counts, printing, parsing.
+    pub fn build(&self) -> (Module, PassStats) {
+        self.built().clone()
+    }
+
+    /// The cached harden result, built on first use.
+    fn built(&self) -> &(Module, PassStats) {
+        self.built.get_or_init(|| PassManager::from_config(&self.cfg).run_on(self.module))
+    }
+
+    /// A caller-supplied `vm.fault` would be silently dropped by this
+    /// terminal op — catch the misuse in debug builds instead.
+    fn debug_assert_no_fault(&self, op: &str) {
+        debug_assert!(
+            self.vm.fault.is_none(),
+            "Experiment::{op} ignores vm.fault; use run_with_fault (or campaign) to inject"
+        );
+    }
+
+    fn run_built(&self, module: &Module, pass_stats: PassStats, vm: VmConfig) -> VariantReport {
+        let run = Vm::run(module, vm, self.spec);
+        VariantReport {
+            label: self.cfg.label(),
+            pass_stats,
+            run,
+            overhead_vs_native: None,
+            campaign: None,
+        }
+    }
+
+    /// Hardens (cached) and executes once, fault-free.
+    ///
+    /// Debug-asserts that the VM configuration carries no fault plan —
+    /// injection goes through [`Experiment::run_with_fault`].
+    pub fn run(&self) -> VariantReport {
+        self.debug_assert_no_fault("run");
+        let (module, stats) = self.built();
+        let mut vm = self.vm.clone();
+        vm.fault = None;
+        self.run_built(module, stats.clone(), vm)
+    }
+
+    /// Hardens (cached) and executes once with a single-event upset
+    /// injected at `plan`'s dynamic occurrence.
+    pub fn run_with_fault(&self, plan: FaultPlan) -> VariantReport {
+        let (module, stats) = self.built();
+        let mut vm = self.vm.clone();
+        vm.fault = Some(plan);
+        self.run_built(module, stats.clone(), vm)
+    }
+
+    /// Hardens once, runs the fault-free reference, then the full
+    /// injection campaign. The experiment's VM configuration is used for
+    /// every run (the `vm` field of `cfg` is ignored); `cfg` supplies the
+    /// injection count, seed, and parallelism.
+    ///
+    /// The returned report's `run` is the reference run and `campaign`
+    /// holds the Table 1 outcome histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference run does not complete (the program under
+    /// test must be correct before injecting faults into it).
+    pub fn campaign(&self, cfg: CampaignConfig) -> VariantReport {
+        self.debug_assert_no_fault("campaign");
+        let (module, stats) = self.built();
+        let mut vm = self.vm.clone();
+        vm.fault = None;
+        let golden = Vm::run(module, vm.clone(), self.spec);
+        let campaign_cfg = CampaignConfig { vm, ..cfg };
+        let report = run_campaign_from(module, self.spec, &campaign_cfg, &golden);
+        VariantReport {
+            label: self.cfg.label(),
+            pass_stats: stats.clone(),
+            run: golden,
+            overhead_vs_native: None,
+            campaign: Some(report),
+        }
+    }
+
+    /// Runs the native baseline plus every configuration in `configs`
+    /// (in the given order) under the same VM configuration and entry
+    /// points, and reports each variant's overhead against the shared
+    /// baseline.
+    ///
+    /// The experiment's own harden configuration is ignored; the
+    /// baseline is always [`HardenConfig::native`].
+    pub fn compare(&self, configs: &[HardenConfig]) -> ExperimentReport {
+        self.debug_assert_no_fault("compare");
+        let mut vm = self.vm.clone();
+        vm.fault = None;
+        let baseline =
+            self.clone().harden(HardenConfig::native()).vm(vm.clone()).run().with_overhead(1.0);
+        let native_cycles = baseline.run.wall_cycles.max(1);
+        let mut variants = vec![baseline];
+        for cfg in configs {
+            let v = self.clone().harden(cfg.clone()).vm(vm.clone()).run();
+            let overhead = v.run.wall_cycles as f64 / native_cycles as f64;
+            variants.push(v.with_overhead(overhead));
+        }
+        ExperimentReport { variants }
+    }
+}
+
+/// Everything measured for one harden configuration.
+#[derive(Clone, Debug)]
+pub struct VariantReport {
+    /// [`HardenConfig::label`] of the configuration that produced this
+    /// variant.
+    pub label: String,
+    /// Per-pass instruction deltas from the [`PassManager`].
+    pub pass_stats: PassStats,
+    /// The measured run (for campaigns: the fault-free reference run).
+    pub run: RunResult,
+    /// Wall-cycle ratio against the native baseline; present only on
+    /// variants produced by [`Experiment::compare`].
+    pub overhead_vs_native: Option<f64>,
+    /// Outcome histogram; present only on variants produced by
+    /// [`Experiment::campaign`].
+    pub campaign: Option<CampaignReport>,
+}
+
+impl VariantReport {
+    fn with_overhead(mut self, overhead: f64) -> Self {
+        self.overhead_vs_native = Some(overhead);
+        self
+    }
+
+    /// True if the run completed.
+    pub fn completed(&self) -> bool {
+        self.run.outcome == RunOutcome::Completed
+    }
+
+    /// The run, asserted completed — the common "this experiment must
+    /// work" pattern in tests and benches.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `context` if the run did not complete.
+    pub fn expect_completed(self, context: &str) -> RunResult {
+        assert_eq!(
+            self.run.outcome,
+            RunOutcome::Completed,
+            "{context}: variant `{}` did not complete",
+            self.label
+        );
+        self.run
+    }
+
+    /// One-line summary: label, overhead (if known), instruction growth,
+    /// HTM commit/abort/coverage stats, campaign histogram (if any).
+    pub fn summary(&self) -> String {
+        let mut s = format!("{:<10}", self.label);
+        if let Some(oh) = self.overhead_vs_native {
+            s.push_str(&format!(" {oh:5.2}x"));
+        }
+        s.push_str(&format!(
+            "  +{} insts  {} commits  {:.1}% aborts  {:.1}% cov",
+            self.pass_stats.total_added(),
+            self.run.htm.commits,
+            self.run.htm.abort_rate_pct(),
+            self.run.htm.coverage_pct()
+        ));
+        if let Some(c) = &self.campaign {
+            s.push_str("  ");
+            s.push_str(&c.summary());
+        }
+        s
+    }
+}
+
+/// Side-by-side variant comparison from [`Experiment::compare`].
+///
+/// `variants[0]` is always the native baseline; the rest follow the
+/// caller's configuration order.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    pub variants: Vec<VariantReport>,
+}
+
+impl ExperimentReport {
+    /// The native baseline.
+    pub fn baseline(&self) -> &VariantReport {
+        &self.variants[0]
+    }
+
+    /// Looks a variant up by its [`HardenConfig::label`].
+    pub fn variant(&self, label: &str) -> Option<&VariantReport> {
+        self.variants.iter().find(|v| v.label == label)
+    }
+
+    /// Overhead vs native of the labelled variant.
+    pub fn overhead(&self, label: &str) -> Option<f64> {
+        self.variant(label).and_then(|v| v.overhead_vs_native)
+    }
+
+    /// True when every variant completed and produced the baseline's
+    /// output — the semantic-preservation check of every paper table.
+    pub fn outputs_agree(&self) -> bool {
+        let golden = &self.baseline().run.output;
+        self.variants.iter().all(|v| v.completed() && &v.run.output == golden)
+    }
+
+    /// Multi-line table, one [`VariantReport::summary`] per variant.
+    pub fn summary(&self) -> String {
+        self.variants.iter().map(|v| v.summary()).collect::<Vec<_>>().join("\n")
+    }
+}

@@ -25,7 +25,8 @@
 //!
 //! # Examples
 //!
-//! Harden a program and watch it survive an injected fault:
+//! Harden a program with the [`Experiment`] pipeline and watch it survive
+//! an injected fault:
 //!
 //! ```
 //! use haft::prelude::*;
@@ -46,20 +47,49 @@
 //! f.ret(None);
 //! m.push_func(f.finish());
 //!
-//! // Harden with ILR + TX and run with a fault injected mid-trace.
-//! let hardened = harden(&m, &HardenConfig::haft());
-//! let spec = RunSpec { fini: Some("fini"), ..Default::default() };
-//! let clean = Vm::run(&hardened, VmConfig::default(), spec);
-//! let faulty = Vm::run(
-//!     &hardened,
-//!     VmConfig {
-//!         fault: Some(FaultPlan { occurrence: clean.register_writes / 2, xor_mask: 0x40 }),
-//!         ..Default::default()
-//!     },
-//!     spec,
-//! );
-//! assert_eq!(faulty.output, clean.output, "HAFT recovered the fault");
+//! // One experiment: harden with ILR + TX, run clean, then re-run with a
+//! // fault injected mid-trace.
+//! let exp = Experiment::new(&m)
+//!     .harden(HardenConfig::haft())
+//!     .spec(RunSpec { fini: Some("fini"), ..Default::default() });
+//! let clean = exp.run();
+//! let faulty = exp.run_with_fault(FaultPlan {
+//!     occurrence: clean.run.register_writes / 2,
+//!     xor_mask: 0x40,
+//! });
+//! assert_eq!(faulty.run.output, clean.run.output, "HAFT recovered the fault");
+//!
+//! // And the variant grid: HAFT vs the unprotected baseline.
+//! let report = exp.compare(&[HardenConfig::haft()]);
+//! assert!(report.outputs_agree());
+//! assert!(report.overhead("HAFT").unwrap() > 1.0, "redundancy is not free");
 //! ```
+//!
+//! # Migrating from `harden` + `Vm::run`
+//!
+//! Pre-`Experiment` code wired the stages by hand:
+//!
+//! ```text
+//! let hardened = harden(&m, &HardenConfig::haft());          // deprecated shim
+//! let r = Vm::run(&hardened, VmConfig::default(), spec);
+//! let rep = run_campaign(&hardened, spec, &campaign_cfg);
+//! ```
+//!
+//! The one-front-door equivalents:
+//!
+//! ```text
+//! let exp = Experiment::new(&m).harden(HardenConfig::haft()).spec(spec);
+//! let v = exp.run();                       // v.run is the old RunResult
+//! let c = exp.campaign(campaign_cfg);      // c.campaign has the histogram
+//! ```
+//!
+//! Direct pass application (`harden`) remains available as a compat shim
+//! over [`passes::PassManager`], which is also the extension point for
+//! custom [`passes::Pass`] sequences.
+
+pub mod experiment;
+
+pub use experiment::{Experiment, ExperimentReport, VariantReport};
 
 pub use haft_apps as apps;
 pub use haft_faults as faults;
@@ -72,6 +102,7 @@ pub use haft_workloads as workloads;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::experiment::{Experiment, ExperimentReport, VariantReport};
     pub use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Outcome};
     pub use haft_ir::builder::FunctionBuilder;
     pub use haft_ir::inst::{BinOp, CmpOp, Op, Operand};
@@ -79,7 +110,11 @@ pub mod prelude {
     pub use haft_ir::types::Ty;
     pub use haft_ir::verify::verify_module;
     pub use haft_model::{HaftChain, SystemKind};
-    pub use haft_passes::{harden, HardenConfig, IlrConfig, OptLevel, TxConfig};
-    pub use haft_vm::{FaultPlan, RunOutcome, RunSpec, Vm, VmConfig};
+    #[allow(deprecated)]
+    pub use haft_passes::harden;
+    pub use haft_passes::{
+        HardenConfig, IlrConfig, OptLevel, Pass, PassManager, PassStats, TxConfig,
+    };
+    pub use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }

@@ -16,22 +16,15 @@ fn main() {
     println!("campaign: {bench}, {injections} injections per configuration\n");
 
     for (label, hc) in [
-        ("native", None),
-        ("ILR   ", Some(HardenConfig::ilr_only())),
-        ("HAFT  ", Some(HardenConfig::haft())),
+        ("native", HardenConfig::native()),
+        ("ILR   ", HardenConfig::ilr_only()),
+        ("HAFT  ", HardenConfig::haft()),
     ] {
-        let module = match &hc {
-            Some(hc) => harden(&w.module, hc),
-            None => w.module.clone(),
-        };
-        let cfg = CampaignConfig {
-            injections,
-            seed: 2016,
-            vm: VmConfig { n_threads: 2, max_instructions: 200_000_000, ..Default::default() },
-            ..Default::default()
-        };
-        let report = run_campaign(&module, w.run_spec(), &cfg);
-        println!("{label} {}", report.summary());
+        let v = Experiment::workload(&w)
+            .harden(hc)
+            .vm(VmConfig { n_threads: 2, max_instructions: 200_000_000, ..Default::default() })
+            .campaign(CampaignConfig { injections, seed: 2016, ..Default::default() });
+        println!("{label} {}", v.campaign.unwrap().summary());
     }
     println!(
         "\nPaper reference (suite means): native SDC 26.2%, ILR SDC 0.8% \

@@ -9,25 +9,25 @@ use haft::prelude::*;
 fn main() {
     let threads = 8;
     let w = memcached(WorkloadMix::A, KvSync::Lock, Scale::Large);
-    let spec = w.run_spec();
+    let exp = Experiment::workload(&w).threads(threads);
 
-    let native = Vm::run(&w.module, VmConfig { n_threads: threads, ..Default::default() }, spec);
-
-    let hardened_elision = harden(&w.module, &HardenConfig::haft_with_elision());
-    let with_elision = Vm::run(
-        &hardened_elision,
-        VmConfig { n_threads: threads, lock_elision: true, ..Default::default() },
-        spec,
-    );
-
-    let hardened_plain = harden(&w.module, &HardenConfig::haft());
-    let without =
-        Vm::run(&hardened_plain, VmConfig { n_threads: threads, ..Default::default() }, spec);
+    let native = exp.run().expect_completed("native");
+    let with_elision = exp
+        .clone()
+        .harden(HardenConfig::haft_with_elision())
+        .lock_elision(true)
+        .run()
+        .expect_completed("HAFT-lock with elision");
+    let without = exp
+        .clone()
+        .harden(HardenConfig::haft())
+        .run()
+        .expect_completed("HAFT-lock without elision");
 
     assert_eq!(native.output, with_elision.output);
     assert_eq!(native.output, without.output);
 
-    let tp = |r: &haft::vm::RunResult| 24_000.0 / (r.wall_cycles as f64 / 2.0e9) / 1e6;
+    let tp = |r: &RunResult| 24_000.0 / (r.wall_cycles as f64 / 2.0e9) / 1e6;
     println!("memcached, YCSB A, {threads} threads (M ops/s at 2 GHz):");
     println!("  native-lock          {:>8.3}", tp(&native));
     println!("  HAFT-lock (elision)  {:>8.3}", tp(&with_elision));

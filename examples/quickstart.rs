@@ -1,5 +1,5 @@
-//! Quickstart: harden a small program with HAFT and demonstrate fault
-//! detection and recovery.
+//! Quickstart: harden a small program with HAFT via the `Experiment`
+//! pipeline and demonstrate fault detection and recovery.
 //!
 //! Run with: `cargo run --release -p haft --example quickstart`
 
@@ -55,39 +55,44 @@ fn main() {
     m.push_func(f.finish());
     verify_module(&m).expect("valid IR");
 
-    // 2. Harden it: ILR (detection) + TX (recovery).
-    let hardened = harden(&m, &HardenConfig::haft());
-    println!(
-        "native instructions: {:>6}   hardened: {:>6}",
-        m.total_inst_count(),
-        hardened.total_inst_count()
-    );
+    // 2. One experiment describes the whole pipeline: module, hardening,
+    //    VM shape, and entry points.
+    let exp = Experiment::new(&m).harden(HardenConfig::haft()).threads(4).spec(RunSpec {
+        worker: Some("worker"),
+        fini: Some("fini"),
+        ..Default::default()
+    });
 
-    // 3. Run both, compare outputs and cost.
-    let spec = RunSpec { worker: Some("worker"), fini: Some("fini"), ..Default::default() };
-    let cfg = VmConfig { n_threads: 4, ..Default::default() };
-    let native = Vm::run(&m, cfg.clone(), spec);
-    let haft = Vm::run(&hardened, cfg.clone(), spec);
-    assert_eq!(native.output, haft.output);
-    println!("dot product = {}", native.output[0]);
+    // 3. Side-by-side variant comparison: native vs full HAFT.
+    let report = exp.compare(&[HardenConfig::haft()]);
+    assert!(report.outputs_agree(), "hardening must preserve semantics");
+    let native = report.baseline();
+    let haft = report.variant("HAFT").unwrap();
+    println!(
+        "native instructions: {:>6}   hardened: +{} (ILR {:+}, TX {:+})",
+        m.total_inst_count(),
+        haft.pass_stats.total_added(),
+        haft.pass_stats.added_by("ilr").unwrap(),
+        haft.pass_stats.added_by("tx").unwrap(),
+    );
+    println!("dot product = {}", native.run.output[0]);
     println!(
         "overhead: {:.2}x   transactions committed: {}   coverage: {:.1}%",
-        haft.wall_cycles as f64 / native.wall_cycles as f64,
-        haft.htm.commits,
-        haft.htm.coverage_pct()
+        report.overhead("HAFT").unwrap(),
+        haft.run.htm.commits,
+        haft.run.htm.coverage_pct()
     );
 
     // 4. Inject a single-event upset into every 50th instruction of the
     //    trace and tally what HAFT does with it.
+    let clean = haft.run.clone();
     let (mut corrected, mut masked, mut detected, mut sdc) = (0, 0, 0, 0);
     let mut occ = 0;
-    while occ < haft.register_writes {
-        let mut fcfg = cfg.clone();
-        fcfg.fault = Some(FaultPlan { occurrence: occ, xor_mask: 0x80 });
-        let r = Vm::run(&hardened, fcfg, spec);
+    while occ < clean.register_writes {
+        let r = exp.run_with_fault(FaultPlan { occurrence: occ, xor_mask: 0x80 }).run;
         match r.outcome {
             RunOutcome::Detected => detected += 1,
-            RunOutcome::Completed if r.output != native.output => sdc += 1,
+            RunOutcome::Completed if r.output != clean.output => sdc += 1,
             RunOutcome::Completed if r.recoveries > 0 => corrected += 1,
             RunOutcome::Completed => masked += 1,
             _ => detected += 1,

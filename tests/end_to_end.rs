@@ -1,19 +1,17 @@
 //! Cross-crate integration tests: the full pipeline from IR through
-//! hardening, execution, fault injection, and the availability model.
+//! hardening, execution, fault injection, and the availability model,
+//! driven through the facade's `Experiment` API.
 
 use haft::prelude::*;
 
 /// Hardening must preserve semantics for every benchmark and every pass
-/// configuration the evaluation uses.
+/// configuration the evaluation uses — one `compare` per benchmark.
 #[test]
 fn every_config_preserves_semantics_on_sample_benchmarks() {
     let spec_names = ["histogram", "linearreg", "dedup"];
     for name in spec_names {
         let w = workload_by_name(name, Scale::Small).unwrap();
-        let cfg = VmConfig { n_threads: 2, ..Default::default() };
-        let native = Vm::run(&w.module, cfg.clone(), w.run_spec());
-        assert_eq!(native.outcome, RunOutcome::Completed);
-        for hc in [
+        let report = Experiment::workload(&w).threads(2).compare(&[
             HardenConfig::ilr_only(),
             HardenConfig::tx_only(),
             HardenConfig::haft(),
@@ -22,12 +20,12 @@ fn every_config_preserves_semantics_on_sample_benchmarks() {
             HardenConfig::at_opt_level(OptLevel::ControlFlow),
             HardenConfig::at_opt_level(OptLevel::LocalCalls),
             HardenConfig::at_opt_level(OptLevel::FaultProp),
-        ] {
-            let hardened = harden(&w.module, &hc);
-            verify_module(&hardened).unwrap_or_else(|e| panic!("{name}: {e:?}"));
-            let r = Vm::run(&hardened, cfg.clone(), w.run_spec());
-            assert_eq!(r.outcome, RunOutcome::Completed, "{name}");
-            assert_eq!(r.output, native.output, "{name} with {hc:?}");
+        ]);
+        assert_eq!(report.variants.len(), 9, "{name}: baseline + 8 variants");
+        assert!(report.outputs_agree(), "{name}:\n{}", report.summary());
+        // Every hardened variant pays a nonzero instruction cost.
+        for v in &report.variants[1..] {
+            assert!(v.pass_stats.total_added() > 0, "{name}/{}", v.label);
         }
     }
 }
@@ -37,15 +35,14 @@ fn every_config_preserves_semantics_on_sample_benchmarks() {
 #[test]
 fn haft_reliability_pipeline() {
     let w = workload_by_name("linearreg", Scale::Small).unwrap();
-    let cfg = CampaignConfig {
-        injections: 120,
-        seed: 99,
-        vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
+    let exp = Experiment::workload(&w).vm(VmConfig {
+        n_threads: 2,
+        max_instructions: 100_000_000,
         ..Default::default()
-    };
-    let native = run_campaign(&w.module, w.run_spec(), &cfg);
-    let hardened = harden(&w.module, &HardenConfig::haft());
-    let haft = run_campaign(&hardened, w.run_spec(), &cfg);
+    });
+    let cfg = CampaignConfig { injections: 120, seed: 99, ..Default::default() };
+    let native = exp.campaign(cfg.clone()).campaign.unwrap();
+    let haft = exp.clone().harden(HardenConfig::haft()).campaign(cfg).campaign.unwrap();
 
     assert!(
         haft.pct(Outcome::Sdc) < native.pct(Outcome::Sdc),
@@ -65,9 +62,12 @@ fn haft_reliability_pipeline() {
 fn coverage_is_high_for_protected_benchmarks() {
     for name in ["histogram", "kmeans-ns", "x264"] {
         let w = workload_by_name(name, Scale::Small).unwrap();
-        let hardened = harden(&w.module, &HardenConfig::haft());
-        let cfg = VmConfig { n_threads: 2, tx_threshold: 3000, ..Default::default() };
-        let r = Vm::run(&hardened, cfg, w.run_spec());
+        let r = Experiment::workload(&w)
+            .harden(HardenConfig::haft())
+            .threads(2)
+            .tx_threshold(3000)
+            .run()
+            .expect_completed(name);
         assert!(r.htm.coverage_pct() > 60.0, "{name} coverage {:.1}%", r.htm.coverage_pct());
     }
 }
@@ -76,12 +76,15 @@ fn coverage_is_high_for_protected_benchmarks() {
 #[test]
 fn hyperthreading_increases_aborts_for_cache_hungry_kernels() {
     let w = workload_by_name("matrixmul", Scale::Small).unwrap();
-    let hardened = harden(&w.module, &HardenConfig::haft());
-    let base = VmConfig { n_threads: 4, tx_threshold: 5000, ..Default::default() };
-    let r_base = Vm::run(&hardened, base.clone(), w.run_spec());
-    let mut smt = base;
+    let exp = Experiment::workload(&w).harden(HardenConfig::haft()).vm(VmConfig {
+        n_threads: 4,
+        tx_threshold: 5000,
+        ..Default::default()
+    });
+    let r_base = exp.run().expect_completed("base");
+    let mut smt = VmConfig { n_threads: 4, tx_threshold: 5000, ..Default::default() };
     smt.htm = haft::htm::HtmConfig { smt: true, ..Default::default() };
-    let r_smt = Vm::run(&hardened, smt, w.run_spec());
+    let r_smt = exp.clone().vm(smt).run().expect_completed("smt");
     assert!(
         r_smt.htm.environment_aborts() >= r_base.htm.environment_aborts(),
         "smt {} vs base {}",
@@ -95,14 +98,12 @@ fn hyperthreading_increases_aborts_for_cache_hungry_kernels() {
 #[test]
 fn measured_probabilities_feed_the_model() {
     let w = workload_by_name("histogram", Scale::Small).unwrap();
-    let hardened = harden(&w.module, &HardenConfig::haft());
-    let cfg = CampaignConfig {
-        injections: 60,
-        seed: 4,
-        vm: VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() },
-        ..Default::default()
-    };
-    let rep = run_campaign(&hardened, w.run_spec(), &cfg);
+    let rep = Experiment::workload(&w)
+        .harden(HardenConfig::haft())
+        .vm(VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() })
+        .campaign(CampaignConfig { injections: 60, seed: 4, ..Default::default() })
+        .campaign
+        .unwrap();
     let probs = haft::model::FaultProbabilities {
         masked: rep.pct(Outcome::Masked) / 100.0,
         sdc: rep.pct(Outcome::Sdc) / 100.0,
@@ -126,7 +127,8 @@ fn measured_probabilities_feed_the_model() {
 #[test]
 fn printer_parser_roundtrip_on_hardened_module() {
     let w = workload_by_name("histogram", Scale::Small).unwrap();
-    let hardened = harden(&w.module, &HardenConfig::haft());
+    let exp = Experiment::workload(&w).harden(HardenConfig::haft()).threads(2);
+    let (hardened, _) = exp.build();
     let text = haft::ir::printer::print_module(&hardened);
     let parsed = haft::ir::parser::parse_module(&text).expect("parses");
     verify_module(&parsed).expect("verifies");
@@ -134,10 +136,10 @@ fn printer_parser_roundtrip_on_hardened_module() {
     let canon = haft::ir::printer::print_module(&parsed);
     let reparsed = haft::ir::parser::parse_module(&canon).expect("reparses");
     assert_eq!(haft::ir::printer::print_module(&reparsed), canon);
-    // And it still runs identically.
-    let cfg = VmConfig { n_threads: 2, ..Default::default() };
-    let a = Vm::run(&hardened, cfg.clone(), w.run_spec());
-    let b = Vm::run(&parsed, cfg, w.run_spec());
+    // And it still runs identically: the hardened module through the
+    // experiment, the reparsed one through the same VM shape.
+    let a = exp.run().expect_completed("hardened");
+    let b = Experiment::new(&parsed).spec(w.run_spec()).threads(2).run().expect_completed("parsed");
     assert_eq!(a.output, b.output);
 }
 
@@ -151,17 +153,18 @@ fn lock_elision_reduces_lock_serialization() {
     // pure win. (Zipf-hot traffic on our deliberately small table makes
     // large elided transactions abort-prone — see EXPERIMENTS.md.)
     let w = memcached(WorkloadMix::Uniform, KvSync::Lock, Scale::Small);
-    let hardened = harden(&w.module, &HardenConfig::haft_with_elision());
-    let base = VmConfig { n_threads: 4, tx_threshold: 500, ..Default::default() };
-    let native = Vm::run(&w.module, base.clone(), w.run_spec());
-    let mut ecfg = base.clone();
-    ecfg.lock_elision = true;
-    let elided = Vm::run(&hardened, ecfg, w.run_spec());
+    let exp = Experiment::workload(&w).threads(4).tx_threshold(500);
+    let native = exp.run().expect_completed("native");
+    let elided = exp
+        .clone()
+        .harden(HardenConfig::haft_with_elision())
+        .lock_elision(true)
+        .run()
+        .expect_completed("elided");
     assert_eq!(elided.output, native.output);
     assert!(elided.htm.commits > 0);
     // Elision must beat the non-elided hardened build.
-    let plain = harden(&w.module, &HardenConfig::haft());
-    let noelision = Vm::run(&plain, base, w.run_spec());
+    let noelision = exp.clone().harden(HardenConfig::haft()).run().expect_completed("noelision");
     assert!(
         elided.wall_cycles < noelision.wall_cycles,
         "elision {} vs noelision {}",

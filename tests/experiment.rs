@@ -1,0 +1,82 @@
+//! Unit tests for the `Experiment` pipeline API itself: variant
+//! ordering, report bookkeeping, and the recorded performance baseline.
+
+use haft::prelude::*;
+
+/// `compare` must order variants deterministically: the native baseline
+/// first, then the caller's configurations in the given order — twice in
+/// a row, with identical labels and measurements.
+#[test]
+fn compare_orders_variants_consistently() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let configs = [
+        HardenConfig::haft(),
+        HardenConfig::ilr_only(),
+        HardenConfig::tx_only(),
+        HardenConfig::haft().without_local_calls(),
+    ];
+    let a = Experiment::workload(&w).threads(2).compare(&configs);
+    let labels: Vec<&str> = a.variants.iter().map(|v| v.label.as_str()).collect();
+    assert_eq!(labels, vec!["native", "HAFT", "ILR", "TX", "HAFT-nc"]);
+    assert_eq!(a.baseline().label, "native");
+    assert_eq!(a.baseline().overhead_vs_native, Some(1.0));
+
+    // Deterministic across invocations: same order, same cycles.
+    let b = Experiment::workload(&w).threads(2).compare(&configs);
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        assert_eq!(va.label, vb.label);
+        assert_eq!(va.run.wall_cycles, vb.run.wall_cycles);
+        assert_eq!(va.overhead_vs_native, vb.overhead_vs_native);
+    }
+
+    // Lookup by label agrees with positional order.
+    assert_eq!(a.variant("ILR").unwrap().run.wall_cycles, a.variants[2].run.wall_cycles);
+    assert!(a.variant("nonexistent").is_none());
+}
+
+/// Every hardened variant reports pass stats consistent with the static
+/// instruction counts, and overheads above 1.
+#[test]
+fn compare_reports_costs() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let report = Experiment::workload(&w).threads(2).compare(&[HardenConfig::haft()]);
+    assert!(report.outputs_agree(), "{}", report.summary());
+    let haft = report.variant("HAFT").unwrap();
+    assert_eq!(haft.pass_stats.pass_names(), vec!["ilr", "tx"]);
+    assert!(haft.pass_stats.added_by("ilr").unwrap() > 0);
+    assert!(haft.pass_stats.added_by("tx").unwrap() > 0);
+    assert!(report.overhead("HAFT").unwrap() > 1.0);
+}
+
+/// `Experiment::compare` must keep reproducing the native-vs-HAFT
+/// overhead recorded in CHANGES.md for linearreg/Small at 2 threads
+/// (micro-bench baseline: 2.70 ms native vs 6.58 ms HAFT ≈ 2.4×). The
+/// simulator is deterministic, so drift beyond noise means a cost-model
+/// or pass regression, not measurement error.
+#[test]
+fn compare_reproduces_recorded_linearreg_overhead() {
+    let w = workload_by_name("linearreg", Scale::Small).unwrap();
+    let report = Experiment::workload(&w).threads(2).compare(&[HardenConfig::haft()]);
+    assert!(report.outputs_agree(), "{}", report.summary());
+    let oh = report.overhead("HAFT").unwrap();
+    assert!((1.8..=3.2).contains(&oh), "linearreg HAFT overhead drifted: {oh:.2}x");
+}
+
+/// A campaign through the experiment equals a manual `run_campaign` with
+/// the same parameters — the unified report is a repackaging, not a
+/// different methodology.
+#[test]
+fn experiment_campaign_matches_run_campaign() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let vm = VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() };
+    let cfg = CampaignConfig { injections: 40, seed: 7, ..Default::default() };
+
+    let v =
+        Experiment::workload(&w).harden(HardenConfig::haft()).vm(vm.clone()).campaign(cfg.clone());
+
+    #[allow(deprecated)]
+    let hardened = harden(&w.module, &HardenConfig::haft());
+    let manual = run_campaign(&hardened, w.run_spec(), &CampaignConfig { vm, ..cfg });
+
+    assert_eq!(v.campaign.unwrap().counts, manual.counts);
+}

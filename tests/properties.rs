@@ -85,6 +85,10 @@ fn build_program(steps: &[Step]) -> Module {
     m
 }
 
+fn fini_spec() -> RunSpec<'static> {
+    RunSpec { fini: Some("fini"), ..Default::default() }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -94,16 +98,11 @@ proptest! {
     fn hardening_preserves_semantics(steps in proptest::collection::vec(step_strategy(), 1..40)) {
         let m = build_program(&steps);
         verify_module(&m).unwrap();
-        let spec = RunSpec { fini: Some("fini"), ..Default::default() };
-        let native = Vm::run(&m, VmConfig::default(), spec);
-        prop_assert_eq!(native.outcome, RunOutcome::Completed);
-        for level in [OptLevel::None, OptLevel::FaultProp] {
-            let hardened = harden(&m, &HardenConfig::at_opt_level(level));
-            verify_module(&hardened).unwrap();
-            let r = Vm::run(&hardened, VmConfig::default(), spec);
-            prop_assert_eq!(r.outcome, RunOutcome::Completed);
-            prop_assert_eq!(&r.output, &native.output);
-        }
+        let report = Experiment::new(&m).spec(fini_spec()).compare(&[
+            HardenConfig::at_opt_level(OptLevel::None),
+            HardenConfig::at_opt_level(OptLevel::FaultProp),
+        ]);
+        prop_assert!(report.outputs_agree(), "{}", report.summary());
     }
 
     /// Single-fault guarantee on ILR-hardened straight-line programs:
@@ -118,17 +117,14 @@ proptest! {
         mask in 1u64..,
     ) {
         let m = build_program(&steps);
-        let hardened = harden(&m, &HardenConfig::haft());
-        let spec = RunSpec { fini: Some("fini"), ..Default::default() };
-        let clean = Vm::run(&hardened, VmConfig::default(), spec);
+        let exp = Experiment::new(&m)
+            .harden(HardenConfig::haft())
+            .spec(fini_spec())
+            .vm(VmConfig { max_instructions: 50_000_000, ..Default::default() });
+        let clean = exp.run().run;
         prop_assert_eq!(clean.outcome, RunOutcome::Completed);
         let occurrence = occ_seed % clean.register_writes.max(1);
-        let cfg = VmConfig {
-            fault: Some(FaultPlan { occurrence, xor_mask: mask }),
-            max_instructions: 50_000_000,
-            ..Default::default()
-        };
-        let r = Vm::run(&hardened, cfg, spec);
+        let r = exp.run_with_fault(FaultPlan { occurrence, xor_mask: mask }).run;
         // Completed runs must have produced the right answer (corrected
         // or masked); everything else is a detected fail-stop — never a
         // hang (straight-line code cannot loop) and never an SDC.
@@ -145,12 +141,37 @@ proptest! {
     fn roundtrip_holds_for_generated_programs(steps in proptest::collection::vec(step_strategy(), 1..24)) {
         let m = build_program(&steps);
         for hc in [HardenConfig::native(), HardenConfig::haft()] {
-            let module = harden(&m, &hc);
+            let (module, _) = Experiment::new(&m).harden(hc).build();
             let text = haft::ir::printer::print_module(&module);
             let parsed = haft::ir::parser::parse_module(&text).unwrap();
             let canon = haft::ir::printer::print_module(&parsed);
             let reparsed = haft::ir::parser::parse_module(&canon).unwrap();
             prop_assert_eq!(haft::ir::printer::print_module(&reparsed), canon);
         }
+    }
+
+    /// `Experiment::run` is exactly the manual `harden` + `Vm::run`
+    /// wiring it replaced: same output, same cycle counts, same HTM
+    /// stats, and pass stats that account for every added instruction —
+    /// for arbitrary generated programs and the paper's main variants.
+    #[test]
+    fn experiment_matches_manual_wiring(
+        steps in proptest::collection::vec(step_strategy(), 1..32),
+        variant in 0usize..3,
+    ) {
+        let m = build_program(&steps);
+        let hc = [HardenConfig::native(), HardenConfig::ilr_only(), HardenConfig::haft()]
+            [variant]
+            .clone();
+        let v = Experiment::new(&m).harden(hc.clone()).spec(fini_spec()).run();
+        // The replaced wiring, kept here as the reference semantics.
+        #[allow(deprecated)]
+        let hardened = harden(&m, &hc);
+        let manual = Vm::run(&hardened, VmConfig::default(), fini_spec());
+        prop_assert_eq!(&v.run, &manual);
+        prop_assert_eq!(
+            v.pass_stats.total_added(),
+            hardened.total_inst_count() as i64 - m.total_inst_count() as i64
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Smoke test guarding the README quickstart and the `haft` facade
-//! doctest: the documented `harden(&m, &HardenConfig::haft())` round-trip
-//! must keep producing identical output when a fault is injected
-//! mid-trace. If this breaks, the README's copy-paste example is lying.
+//! doctest: the documented `Experiment` round-trip must keep producing
+//! identical output when a fault is injected mid-trace. If this breaks,
+//! the README's copy-paste example is lying.
 
 use haft::prelude::*;
 
@@ -29,38 +29,25 @@ fn doctest_module() -> Module {
 fn facade_doctest_roundtrip_survives_an_injected_fault() {
     let m = doctest_module();
     verify_module(&m).unwrap();
-    let hardened = harden(&m, &HardenConfig::haft());
-    verify_module(&hardened).unwrap();
 
-    let spec = RunSpec { fini: Some("fini"), ..Default::default() };
-    let clean = Vm::run(&hardened, VmConfig::default(), spec);
-    assert_eq!(clean.outcome, RunOutcome::Completed);
+    let exp = Experiment::new(&m)
+        .harden(HardenConfig::haft())
+        .spec(RunSpec { fini: Some("fini"), ..Default::default() });
+
+    let clean = exp.run().expect_completed("clean");
     assert!(clean.register_writes > 0, "trace must expose injectable register writes");
 
     // The doctest's exact injection point (midpoint of the trace)…
-    let faulty = Vm::run(
-        &hardened,
-        VmConfig {
-            fault: Some(FaultPlan { occurrence: clean.register_writes / 2, xor_mask: 0x40 }),
-            ..Default::default()
-        },
-        spec,
-    );
-    assert_eq!(faulty.outcome, RunOutcome::Completed, "doctest fault must be recovered");
+    let faulty = exp
+        .run_with_fault(FaultPlan { occurrence: clean.register_writes / 2, xor_mask: 0x40 })
+        .expect_completed("doctest fault must be recovered");
     assert_eq!(faulty.output, clean.output, "HAFT recovered the fault");
 
     // …and a sweep across the trace: a single bit flip anywhere must never
     // become a silent corruption of the emitted output.
     let step = (clean.register_writes / 23).max(1);
     for occurrence in (0..clean.register_writes).step_by(step as usize) {
-        let r = Vm::run(
-            &hardened,
-            VmConfig {
-                fault: Some(FaultPlan { occurrence, xor_mask: 0x40 }),
-                ..Default::default()
-            },
-            spec,
-        );
+        let r = exp.run_with_fault(FaultPlan { occurrence, xor_mask: 0x40 }).run;
         match r.outcome {
             RunOutcome::Completed => {
                 assert_eq!(r.output, clean.output, "SDC at occurrence {occurrence}")
