@@ -25,6 +25,7 @@ fn main() {
             HardenConfig {
                 ilr: Some(IlrConfig { check_elision: false, ..Default::default() }),
                 tx: Some(TxConfig::default()),
+                ..HardenConfig::default()
             },
         );
         println!(
@@ -46,6 +47,7 @@ fn main() {
             HardenConfig {
                 ilr: Some(IlrConfig::default()),
                 tx: Some(TxConfig { peephole: false, ..Default::default() }),
+                ..HardenConfig::default()
             },
         );
         println!(

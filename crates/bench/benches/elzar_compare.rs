@@ -1,0 +1,70 @@
+//! HAFT vs. Elzar-style TMR: overhead and fault-coverage comparison on
+//! the Phoenix workloads (the measured version of ARCHITECTURE.md's
+//! design-tradeoff note).
+//!
+//! Two tables: normalized runtime of each backend against the shared
+//! native baseline (plus the TMR/HAFT ratio), and the fault-injection
+//! outcome split — HAFT corrects by transactional rollback
+//! (`haft-corrected`), TMR corrects by majority-vote masking
+//! (`vote-corrected`) with zero HTM machinery.
+
+use haft_bench::{experiment, recommended_threshold};
+use haft_faults::{CampaignConfig, Group, Outcome};
+use haft_passes::HardenConfig;
+use haft_workloads::{workload_by_name, Scale};
+
+const PHOENIX: &[&str] =
+    &["histogram", "kmeans", "linearreg", "matrixmul", "pca", "stringmatch", "wordcount"];
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let names: &[&str] = if fast { &["histogram", "linearreg"] } else { PHOENIX };
+    let threads = 2;
+    let injections = if fast { 40 } else { 200 };
+
+    println!("\n=== HAFT vs Elzar (TMR): normalized runtime, {threads} threads ===");
+    haft_bench::header(&["HAFT", "TMR", "TMR/HAFT"]);
+    let (mut haft_sum, mut tmr_sum) = (0.0, 0.0);
+    for name in names {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let report = experiment(&w, threads, recommended_threshold(name))
+            .compare(&[HardenConfig::haft(), HardenConfig::tmr()]);
+        assert!(report.outputs_agree(), "{name}: output diverged or run failed");
+        let haft = report.overhead("HAFT").unwrap();
+        let tmr = report.overhead("TMR").unwrap();
+        haft_sum += haft;
+        tmr_sum += tmr;
+        haft_bench::row(name, &[haft, tmr, tmr / haft]);
+    }
+    let n = names.len() as f64;
+    haft_bench::row("mean", &[haft_sum / n, tmr_sum / n, (tmr_sum / n) / (haft_sum / n)]);
+
+    println!("\n=== Fault injection: rollback recovery vs masking ({injections} injections) ===");
+    println!(
+        "{:<16}{:<6}{:>10}{:>10}{:>10}{:>10}  (corrected = haft- or vote-corrected)",
+        "benchmark", "ver", "correct%", "corr'd%", "crash%", "sdc%"
+    );
+    for name in names {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        for (ver, hc) in [("HAFT", HardenConfig::haft()), ("TMR", HardenConfig::tmr())] {
+            let v = experiment(&w, threads, recommended_threshold(name))
+                .harden(hc)
+                .campaign(CampaignConfig { injections, seed: 0xE15A, ..Default::default() });
+            let run = &v.run;
+            if ver == "TMR" {
+                assert_eq!(run.htm.commits, 0, "{name}: TMR must not transactify");
+            }
+            let c = v.campaign.unwrap();
+            let corrected = c.pct(Outcome::HaftCorrected) + c.pct(Outcome::VoteCorrected);
+            println!(
+                "{:<16}{:<6}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
+                name,
+                ver,
+                c.group_pct(Group::Correct),
+                corrected,
+                c.group_pct(Group::Crashed),
+                c.pct(Outcome::Sdc)
+            );
+        }
+    }
+}

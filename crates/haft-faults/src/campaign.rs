@@ -15,7 +15,9 @@ pub struct CampaignConfig {
     pub injections: u64,
     /// Seed for fault planning.
     pub seed: u64,
-    /// OS threads to spread the runs over.
+    /// OS threads to spread the runs over. A value of `0` is clamped to
+    /// `1` by [`run_campaign`] (serial execution) rather than treated as
+    /// an error.
     pub parallelism: usize,
     /// VM configuration for every run (simulated thread count, HTM
     /// parameters, ...). The fault plan field is overwritten per run.
@@ -73,6 +75,8 @@ pub fn run_campaign_from(
         .collect();
 
     // Step 3: execute and classify, fanned out over OS threads.
+    // `parallelism: 0` clamps to serial execution; outcome counts are
+    // identical at any worker count (each run is independent).
     let workers = cfg.parallelism.max(1);
     let chunk = plans.len().div_ceil(workers);
     let mut report = CampaignReport::default();
@@ -165,6 +169,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_parallelism_is_clamped_to_serial() {
+        // Regression: `parallelism: 0` must behave exactly like serial
+        // execution — same run count, same outcome histogram — instead of
+        // dividing by zero or dropping the plans.
+        let m = program();
+        let mut zero = campaign(40);
+        zero.parallelism = 0;
+        let a = run_campaign(&m, spec(), &zero);
+        let b = run_campaign(&m, spec(), &campaign(40));
+        assert_eq!(a.runs, 40);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
     fn native_program_shows_sdc_and_masking() {
         let m = program();
         let r = run_campaign(&m, spec(), &campaign(150));
@@ -200,6 +218,19 @@ mod tests {
             "most detections should recover: {}",
             r.summary()
         );
+        assert!(r.pct(Outcome::Sdc) < 5.0, "{}", r.summary());
+    }
+
+    #[test]
+    fn tmr_masks_faults_without_rollback() {
+        // The masking backend: a campaign against a TMR-hardened program
+        // reports corrected-by-masking outcomes, with zero transactions
+        // and therefore zero rollback recoveries.
+        let m = program();
+        let hardened = harden(&m, &HardenConfig::tmr());
+        let r = run_campaign(&hardened, spec(), &campaign(150));
+        assert!(r.pct(Outcome::VoteCorrected) > 10.0, "{}", r.summary());
+        assert_eq!(r.pct(Outcome::HaftCorrected), 0.0, "no rollback machinery in TMR");
         assert!(r.pct(Outcome::Sdc) < 5.0, "{}", r.summary());
     }
 

@@ -15,6 +15,10 @@ pub enum Outcome {
     /// An ILR check fired inside a transaction, the rollback re-executed
     /// cleanly, and the output is correct.
     HaftCorrected,
+    /// A majority vote observed a divergent copy and masked the fault in
+    /// place (the TMR backend), and the output is correct — corrected by
+    /// masking, with no rollback involved.
+    VoteCorrected,
     /// The fault had no effect on the output.
     Masked,
     /// Silent data corruption: the run completed with wrong output.
@@ -26,7 +30,7 @@ impl Outcome {
     pub fn group(self) -> Group {
         match self {
             Outcome::Hang | Outcome::OsDetected | Outcome::IlrDetected => Group::Crashed,
-            Outcome::HaftCorrected | Outcome::Masked => Group::Correct,
+            Outcome::HaftCorrected | Outcome::VoteCorrected | Outcome::Masked => Group::Correct,
             Outcome::Sdc => Group::Corrupted,
         }
     }
@@ -38,17 +42,19 @@ impl Outcome {
             Outcome::OsDetected => "os-detected",
             Outcome::IlrDetected => "ilr-detected",
             Outcome::HaftCorrected => "haft-corrected",
+            Outcome::VoteCorrected => "vote-corrected",
             Outcome::Masked => "masked",
             Outcome::Sdc => "sdc",
         }
     }
 
     /// All outcomes, in reporting order.
-    pub const ALL: [Outcome; 6] = [
+    pub const ALL: [Outcome; 7] = [
         Outcome::Hang,
         Outcome::OsDetected,
         Outcome::IlrDetected,
         Outcome::HaftCorrected,
+        Outcome::VoteCorrected,
         Outcome::Masked,
         Outcome::Sdc,
     ];
@@ -72,6 +78,8 @@ pub fn classify(run: &RunResult, golden: &[u64]) -> Outcome {
             if run.output == golden {
                 if run.recoveries > 0 {
                     Outcome::HaftCorrected
+                } else if run.corrected_by_vote > 0 {
+                    Outcome::VoteCorrected
                 } else {
                     Outcome::Masked
                 }
@@ -98,6 +106,7 @@ mod tests {
             htm: HtmStats::default(),
             detections: recoveries,
             recoveries,
+            corrected_by_vote: 0,
             mispredicts: 0,
         }
     }
@@ -129,10 +138,25 @@ mod tests {
     }
 
     #[test]
+    fn vote_correction_classifies_as_corrected_by_masking() {
+        let golden = vec![1, 2, 3];
+        let mut r = result(RunOutcome::Completed, vec![1, 2, 3], 0);
+        r.corrected_by_vote = 4;
+        assert_eq!(classify(&r, &golden), Outcome::VoteCorrected);
+        // Rollback recovery takes precedence (a hybrid run that did both
+        // still reports the rollback, which is the costlier event).
+        r.recoveries = 1;
+        assert_eq!(classify(&r, &golden), Outcome::HaftCorrected);
+    }
+
+    #[test]
     fn recovery_with_wrong_output_is_still_sdc() {
         let golden = vec![1];
         let r = result(RunOutcome::Completed, vec![2], 3);
         assert_eq!(classify(&r, &golden), Outcome::Sdc);
+        let mut v = result(RunOutcome::Completed, vec![2], 0);
+        v.corrected_by_vote = 2;
+        assert_eq!(classify(&v, &golden), Outcome::Sdc, "a wrong vote is still corruption");
     }
 
     #[test]
@@ -141,6 +165,7 @@ mod tests {
         assert_eq!(Outcome::OsDetected.group(), Group::Crashed);
         assert_eq!(Outcome::IlrDetected.group(), Group::Crashed);
         assert_eq!(Outcome::HaftCorrected.group(), Group::Correct);
+        assert_eq!(Outcome::VoteCorrected.group(), Group::Correct);
         assert_eq!(Outcome::Masked.group(), Group::Correct);
         assert_eq!(Outcome::Sdc.group(), Group::Corrupted);
     }

@@ -273,6 +273,13 @@ pub enum Op {
     Lock { addr: Operand },
     /// Release a lock word.
     Unlock { addr: Operand },
+    /// Majority vote over three copies of a value (TMR pass; Elzar's
+    /// `vote()` at synchronization points). Returns the two-of-three
+    /// majority and lets execution continue — a fault in a single copy is
+    /// *masked* rather than rolled back. If all three copies disagree the
+    /// VM treats it like a failed ILR check (fail-stop, or transactional
+    /// rollback when inside a transaction).
+    Vote { ty: Ty, a: Operand, b: Operand, c: Operand },
     /// Externalize a value to the program output (an I/O event; unfriendly
     /// to transactions, like a syscall under TSX).
     Emit { ty: Ty, val: Operand },
@@ -374,6 +381,7 @@ impl Op {
             Op::Rmw { ty, .. } | Op::CmpXchg { ty, .. } => Some(*ty),
             Op::Alloc { .. } => Some(Ty::Ptr),
             Op::Call { ret_ty, .. } => *ret_ty,
+            Op::Vote { ty, .. } => Some(*ty),
             Op::ThreadId | Op::NumThreads => Some(Ty::I64),
             _ => None,
         }
@@ -426,6 +434,11 @@ impl Op {
                 }
             }
             Op::Ret { val: Some(v) } => f(v),
+            Op::Vote { a, b, c, .. } => {
+                f(a);
+                f(b);
+                f(c);
+            }
             Op::Lock { addr } | Op::Unlock { addr } => f(addr),
             Op::Emit { val, .. } => f(val),
             Op::Br { .. }
@@ -488,6 +501,11 @@ impl Op {
                 }
             }
             Op::Ret { val: Some(v) } => f(v),
+            Op::Vote { a, b, c, .. } => {
+                f(a);
+                f(b);
+                f(c);
+            }
             Op::Lock { addr } | Op::Unlock { addr } => f(addr),
             Op::Emit { val, .. } => f(val),
             _ => {}
@@ -544,6 +562,8 @@ mod tests {
         // Runtime intrinsics are not.
         assert!(!Op::TxBegin.is_replicable());
         assert!(!Op::Emit { ty: Ty::I64, val: v(0) }.is_replicable());
+        // Votes are synchronization points, never replicated themselves.
+        assert!(!Op::Vote { ty: Ty::I64, a: v(0), b: v(1), c: v(2) }.is_replicable());
     }
 
     #[test]
@@ -595,6 +615,12 @@ mod tests {
         let mut count = 0;
         call.for_each_operand(|_| count += 1);
         assert_eq!(count, 3);
+
+        let vote = Op::Vote { ty: Ty::I64, a: v(4), b: v(5), c: v(6) };
+        let mut seen = vec![];
+        vote.for_each_operand(|o| seen.push(*o));
+        assert_eq!(seen, vec![v(4), v(5), v(6)]);
+        assert_eq!(vote.result_ty(), Some(Ty::I64));
     }
 
     #[test]

@@ -213,6 +213,9 @@ fn print_inst(f: &Function, idx: usize, inst: &Inst) -> String {
             AbortCode::IlrDetected => "tx_abort ilr".to_string(),
             AbortCode::Explicit => "tx_abort explicit".to_string(),
         },
+        Op::Vote { ty, a, b, c } => {
+            format!("vote {} {}, {}, {}", ty, operand(a), operand(b), operand(c))
+        }
         Op::Lock { addr } => format!("lock {}", operand(addr)),
         Op::Unlock { addr } => format!("unlock {}", operand(addr)),
         Op::Emit { ty, val } => format!("emit {} {}", ty, operand(val)),

@@ -235,6 +235,11 @@ pub fn verify_func(f: &Function, sigs: &[FnSig], globals: &[Global]) -> Result<(
                         }
                     }
                 }
+                Op::Vote { ty, a, b, c } => {
+                    expect_ty(f, name, a, *ty, &mut errs);
+                    expect_ty(f, name, b, *ty, &mut errs);
+                    expect_ty(f, name, c, *ty, &mut errs);
+                }
                 Op::Emit { ty, val } => expect_ty(f, name, val, *ty, &mut errs),
                 Op::Lock { addr } | Op::Unlock { addr } => {
                     expect_ty(f, name, addr, Ty::Ptr, &mut errs)

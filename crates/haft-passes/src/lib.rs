@@ -20,14 +20,22 @@
 //!   optimization, pessimistic splits around external calls and
 //!   transaction-unfriendly operations, and the begin/end peephole.
 //!
+//! * [`tmr`] — **Triple Modular Redundancy** (the alternative *masking*
+//!   backend, after Elzar, DSN'16): triplicates every replicable
+//!   instruction and inserts majority-vote instructions at
+//!   synchronization points, so a single-copy fault is corrected in
+//!   place with no transactions and no rollback.
+//!
 //! * [`manager`] — the trait-based pass pipeline: [`Pass`] is the unit of
 //!   composition, [`PassManager`] owns ordering, per-pass instruction
 //!   deltas ([`PassStats`]), and debug-build IR verification at every
 //!   pass boundary.
 //!
-//! * [`pipeline`] — configuration plumbing: compose the passes into the
-//!   paper's evaluated variants (native / ILR-only / TX-only / HAFT) and
-//!   the cumulative optimization levels of Figure 7.
+//! * [`pipeline`] — configuration plumbing: the [`Backend`] selector
+//!   (HAFT's detect-and-rollback vs. TMR's triplicate-and-vote) and the
+//!   composition of the passes into the paper's evaluated variants
+//!   (native / ILR-only / TX-only / HAFT / TMR) and the cumulative
+//!   optimization levels of Figure 7.
 //!
 //! # Examples
 //!
@@ -55,11 +63,13 @@
 pub mod ilr;
 pub mod manager;
 pub mod pipeline;
+pub mod tmr;
 pub mod tx;
 
 pub use ilr::IlrConfig;
-pub use manager::{IlrPass, Pass, PassManager, PassRecord, PassStats, TxPass};
+pub use manager::{IlrPass, Pass, PassManager, PassRecord, PassStats, TmrPass, TxPass};
 #[allow(deprecated)]
 pub use pipeline::harden;
-pub use pipeline::{HardenConfig, OptLevel};
+pub use pipeline::{Backend, HardenConfig, OptLevel};
+pub use tmr::TmrConfig;
 pub use tx::TxConfig;

@@ -32,6 +32,7 @@ use haft_ir::module::Module;
 use haft_ir::verify::verify_module;
 
 use crate::ilr::{run_ilr_module, IlrConfig};
+use crate::tmr::{run_tmr_module, TmrConfig};
 use crate::tx::{run_tx_module, TxConfig};
 
 /// What one pass did to the module, measured by the manager around the
@@ -137,6 +138,25 @@ impl Pass for TxPass {
     }
 }
 
+/// The Elzar-style TMR pass as a managed [`Pass`]: triplicate and vote
+/// instead of duplicate, detect, and roll back (the [`crate::tmr`]
+/// backend).
+#[derive(Clone, Debug, Default)]
+pub struct TmrPass(pub TmrConfig);
+
+impl Pass for TmrPass {
+    fn name(&self) -> &'static str {
+        "tmr"
+    }
+
+    fn run(&self, m: &mut Module, stats: &mut PassStats) {
+        let transformed = m.funcs.iter().filter(|f| !f.attrs.external).count() as u64;
+        let votes = run_tmr_module(m, &self.0);
+        stats.bump("tmr.functions", transformed);
+        stats.bump("tmr.votes", votes);
+    }
+}
+
 /// Owns a pass sequence: ordering, boundary verification, stats.
 ///
 /// By default the manager re-verifies the module after every pass **in
@@ -161,15 +181,38 @@ impl PassManager {
         PassManager { passes: Vec::new(), verify_between: cfg!(debug_assertions) }
     }
 
-    /// The paper's pipeline for one evaluated variant: ILR if configured,
-    /// then TX if configured.
+    /// The pipeline for one evaluated variant, selected by the config's
+    /// [`crate::pipeline::Backend`]: the paper's ILR-then-TX sequence, or
+    /// the Elzar-style TMR pass.
+    ///
+    /// Debug-asserts that no pass config belonging to the *other* backend
+    /// is set: silently dropping it would let a benchmark sweep report a
+    /// variant that was never actually built (the same hazard
+    /// `HardenConfig::without_local_calls` guards against).
     pub fn from_config(cfg: &crate::pipeline::HardenConfig) -> Self {
         let mut pm = Self::new();
-        if let Some(ilr) = &cfg.ilr {
-            pm = pm.with_pass(IlrPass(ilr.clone()));
-        }
-        if let Some(tx) = &cfg.tx {
-            pm = pm.with_pass(TxPass(tx.clone()));
+        match cfg.backend {
+            crate::pipeline::Backend::IlrTx => {
+                debug_assert!(
+                    cfg.tmr.is_none(),
+                    "tmr config set but backend is IlrTx; it would be silently ignored \
+                     — use backend: Backend::Tmr (e.g. HardenConfig::tmr())"
+                );
+                if let Some(ilr) = &cfg.ilr {
+                    pm = pm.with_pass(IlrPass(ilr.clone()));
+                }
+                if let Some(tx) = &cfg.tx {
+                    pm = pm.with_pass(TxPass(tx.clone()));
+                }
+            }
+            crate::pipeline::Backend::Tmr => {
+                debug_assert!(
+                    cfg.ilr.is_none() && cfg.tx.is_none(),
+                    "ilr/tx config set but backend is Tmr; it would be silently ignored \
+                     — use backend: Backend::IlrTx (e.g. HardenConfig::haft())"
+                );
+                pm = pm.with_pass(TmrPass(cfg.tmr.clone().unwrap_or_default()));
+            }
         }
         pm
     }
@@ -253,6 +296,25 @@ mod tests {
         assert!(PassManager::from_config(&HardenConfig::native()).is_empty());
         assert_eq!(PassManager::from_config(&HardenConfig::ilr_only()).len(), 1);
         assert_eq!(PassManager::from_config(&HardenConfig::haft()).len(), 2);
+        assert_eq!(PassManager::from_config(&HardenConfig::tmr()).len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "backend is IlrTx")]
+    fn off_backend_tmr_config_is_rejected() {
+        let cfg =
+            HardenConfig { tmr: Some(crate::tmr::TmrConfig::default()), ..HardenConfig::haft() };
+        let _ = PassManager::from_config(&cfg);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "backend is Tmr")]
+    fn off_backend_ilr_config_is_rejected() {
+        let mut cfg = HardenConfig::tmr();
+        cfg.ilr = Some(crate::ilr::IlrConfig::default());
+        let _ = PassManager::from_config(&cfg);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use haft_ir::module::Module;
 
 use crate::ilr::IlrConfig;
+use crate::tmr::TmrConfig;
 use crate::tx::TxConfig;
 
 /// Cumulative optimization levels of Figure 7 / Figure 9 (right).
@@ -42,32 +43,85 @@ impl OptLevel {
     }
 }
 
+/// Which hardening *strategy* a [`HardenConfig`] selects.
+///
+/// The two backends share the [`crate::PassManager`]/`Experiment`
+/// plumbing but differ in mechanism:
+///
+/// * [`Backend::IlrTx`] — the paper's pipeline: duplicate (ILR) to
+///   *detect*, transactify (TX) to *recover by rollback*.
+/// * [`Backend::Tmr`] — the Elzar-style alternative: triplicate and
+///   majority-vote to *mask* faults in place, with no transactions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// HAFT's detect-and-rollback pipeline (the default).
+    #[default]
+    IlrTx,
+    /// Elzar-style triple modular redundancy with majority voting.
+    Tmr,
+}
+
 /// Which passes to run and how.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct HardenConfig {
+    /// Hardening strategy; decides which of the pass configs below the
+    /// [`crate::PassManager`] consults.
+    pub backend: Backend,
     pub ilr: Option<IlrConfig>,
     pub tx: Option<TxConfig>,
+    /// TMR pass configuration, consulted when `backend` is
+    /// [`Backend::Tmr`] (a `None` falls back to [`TmrConfig::default`]).
+    pub tmr: Option<TmrConfig>,
+}
+
+impl Default for HardenConfig {
+    /// The default configuration is full HAFT — the paper's evaluated
+    /// pipeline ([`HardenConfig::haft`]), not the native baseline.
+    fn default() -> Self {
+        Self::haft()
+    }
 }
 
 impl HardenConfig {
+    fn ilr_tx(ilr: Option<IlrConfig>, tx: Option<TxConfig>) -> Self {
+        HardenConfig { backend: Backend::IlrTx, ilr, tx, tmr: None }
+    }
+
     /// No transformation (the native baseline).
     pub fn native() -> Self {
-        HardenConfig { ilr: None, tx: None }
+        Self::ilr_tx(None, None)
     }
 
     /// Fault detection only (the paper's "ILR" rows).
     pub fn ilr_only() -> Self {
-        HardenConfig { ilr: Some(IlrConfig::default()), tx: None }
+        Self::ilr_tx(Some(IlrConfig::default()), None)
     }
 
     /// Transactions only (the paper's "TX" rows).
     pub fn tx_only() -> Self {
-        HardenConfig { ilr: None, tx: Some(TxConfig::default()) }
+        Self::ilr_tx(None, Some(TxConfig::default()))
     }
 
     /// Full HAFT: ILR + TX with all optimizations.
     pub fn haft() -> Self {
-        HardenConfig { ilr: Some(IlrConfig::default()), tx: Some(TxConfig::default()) }
+        Self::ilr_tx(Some(IlrConfig::default()), Some(TxConfig::default()))
+    }
+
+    /// The Elzar-style TMR backend: triplicate computation and mask
+    /// faults by majority vote, with no transactional machinery.
+    pub fn tmr() -> Self {
+        HardenConfig { backend: Backend::Tmr, ilr: None, tx: None, tmr: Some(TmrConfig::default()) }
+    }
+
+    /// TMR with every refinement disabled (vote everywhere, single
+    /// loads) — the masking analogue of [`IlrConfig::unoptimized`].
+    pub fn tmr_unoptimized() -> Self {
+        HardenConfig {
+            backend: Backend::Tmr,
+            ilr: None,
+            tx: None,
+            tmr: Some(TmrConfig::unoptimized()),
+        }
     }
 
     /// Full HAFT with the lock-elision wrapper enabled.
@@ -84,7 +138,7 @@ impl HardenConfig {
             check_elision: true,
         };
         let tx = TxConfig { local_calls_opt: level >= OptLevel::LocalCalls, ..TxConfig::default() };
-        HardenConfig { ilr: Some(ilr), tx: Some(tx) }
+        Self::ilr_tx(Some(ilr), Some(tx))
     }
 
     /// Disables the TX local-call optimization (the paper's `vips-nc`).
@@ -120,13 +174,25 @@ impl HardenConfig {
         self
     }
 
-    /// Short human-readable name for reports: the paper's variant name
-    /// (`native`/`ILR`/`TX`/`HAFT`) plus suffixes for every disabled
-    /// refinement (`-sm`, `-cf`, `-fp`, `-ce`, `-nc`, `-ph`), `+el` for
-    /// lock elision, and `+bl<n>` for an `n`-entry TX blacklist.
-    /// Distinct configs get distinct labels, except for blacklists that
-    /// differ only in their entries (the label encodes the count).
+    /// Short human-readable name for reports: the variant name
+    /// (`native`/`ILR`/`TX`/`HAFT`, or `TMR` for the masking backend)
+    /// plus suffixes for every disabled refinement (`-sm`, `-cf`, `-fp`,
+    /// `-ce`, `-nc`, `-ph`; `-tl`, `-ve` for TMR), `+el` for lock
+    /// elision, and `+bl<n>` for an `n`-entry TX blacklist. Distinct
+    /// configs get distinct labels, except for blacklists that differ
+    /// only in their entries (the label encodes the count).
     pub fn label(&self) -> String {
+        if self.backend == Backend::Tmr {
+            let mut s = String::from("TMR");
+            let tmr = self.tmr.clone().unwrap_or_default();
+            if !tmr.triplicate_loads {
+                s.push_str("-tl");
+            }
+            if !tmr.vote_elision {
+                s.push_str("-ve");
+            }
+            return s;
+        }
         let mut s = String::from(match (&self.ilr, &self.tx) {
             (None, None) => "native",
             (Some(_), None) => "ILR",
@@ -208,11 +274,37 @@ mod tests {
     }
 
     #[test]
+    fn backend_shapes() {
+        // Every IlrTx preset carries the default backend; the TMR presets
+        // switch it and carry only a TMR config.
+        for cfg in [
+            HardenConfig::native(),
+            HardenConfig::ilr_only(),
+            HardenConfig::tx_only(),
+            HardenConfig::haft(),
+            HardenConfig::at_opt_level(OptLevel::SharedMem),
+        ] {
+            assert_eq!(cfg.backend, Backend::IlrTx);
+            assert!(cfg.tmr.is_none());
+        }
+        let t = HardenConfig::tmr();
+        assert_eq!(t.backend, Backend::Tmr);
+        assert!(t.ilr.is_none() && t.tx.is_none());
+        assert!(t.tmr.as_ref().unwrap().triplicate_loads);
+        assert!(!HardenConfig::tmr_unoptimized().tmr.unwrap().triplicate_loads);
+        // The default config is full HAFT, not native.
+        assert_eq!(HardenConfig::default().label(), "HAFT");
+        assert_eq!(Backend::default(), Backend::IlrTx);
+    }
+
+    #[test]
     fn labels() {
         let labels: Vec<&str> = OptLevel::ALL.iter().map(|l| l.label()).collect();
         assert_eq!(labels, vec!["N", "S", "C", "L", "F"]);
     }
 
+    /// Pins every labelled variant string, across both backends: reports
+    /// and bench tables key on these, so a drift here is an API break.
     #[test]
     fn config_labels_name_variant_and_deviations() {
         assert_eq!(HardenConfig::native().label(), "native");
@@ -222,6 +314,18 @@ mod tests {
         assert_eq!(HardenConfig::haft_with_elision().label(), "HAFT+el");
         assert_eq!(HardenConfig::haft().without_local_calls().label(), "HAFT-nc");
         assert_eq!(HardenConfig::at_opt_level(OptLevel::None).label(), "HAFT-sm-cf-fp-nc");
+        // The TMR backend's variants.
+        assert_eq!(HardenConfig::tmr().label(), "TMR");
+        assert_eq!(HardenConfig::tmr_unoptimized().label(), "TMR-tl-ve");
+        let mut no_tl = HardenConfig::tmr();
+        no_tl.tmr = Some(TmrConfig { triplicate_loads: false, ..TmrConfig::default() });
+        assert_eq!(no_tl.label(), "TMR-tl");
+        let mut no_ve = HardenConfig::tmr();
+        no_ve.tmr = Some(TmrConfig { vote_elision: false, ..TmrConfig::default() });
+        assert_eq!(no_ve.label(), "TMR-ve");
+        // A backend-less TMR config labels by the default TMR settings.
+        let bare = HardenConfig { backend: Backend::Tmr, ilr: None, tx: None, tmr: None };
+        assert_eq!(bare.label(), "TMR");
     }
 
     #[test]

@@ -71,6 +71,9 @@ pub struct CostConfig {
     pub lat_lock: u64,
     /// Lock release.
     pub lat_unlock: u64,
+    /// Majority vote over three value copies (TMR backend): two compares
+    /// plus a conditional move, fused.
+    pub lat_vote: u64,
     /// Externalization (`emit`) — a syscall-ish cost.
     pub lat_emit: u64,
     /// Heap allocation.
@@ -109,6 +112,7 @@ impl Default for CostConfig {
             abort_penalty: 160,
             lat_lock: 40,
             lat_unlock: 16,
+            lat_vote: 2,
             lat_emit: 150,
             lat_alloc: 40,
             rob: 192,

@@ -122,6 +122,9 @@ pub struct RunResult {
     /// Detections that triggered transactional rollback (recovery
     /// attempts).
     pub recoveries: u64,
+    /// Majority votes that found a divergent copy and masked it in place
+    /// (the TMR backend's correction mechanism — no rollback involved).
+    pub corrected_by_vote: u64,
     /// Conditional-branch mispredictions (cost-model diagnostics).
     pub mispredicts: u64,
 }
@@ -237,6 +240,7 @@ pub struct Vm<'m> {
     instructions: u64,
     detections: u64,
     recoveries: u64,
+    corrected_by_vote: u64,
     mispredicts: u64,
     fault: Option<FaultPlan>,
     wall_cycles: u64,
@@ -263,6 +267,7 @@ impl<'m> Vm<'m> {
             instructions: 0,
             detections: 0,
             recoveries: 0,
+            corrected_by_vote: 0,
             mispredicts: 0,
             fault,
             wall_cycles: 0,
@@ -321,6 +326,7 @@ impl<'m> Vm<'m> {
             htm: self.htm.stats.clone(),
             detections: self.detections,
             recoveries: self.recoveries,
+            corrected_by_vote: self.corrected_by_vote,
             mispredicts: self.mispredicts,
         }
     }
@@ -483,6 +489,18 @@ impl<'m> Vm<'m> {
                 self.fault = None;
             }
         }
+    }
+
+    /// Register write that is *not* part of the fault-injection stream:
+    /// used for `vote` results, which model a fused compare+select whose
+    /// output forwards directly into the consuming instruction rather
+    /// than living in an architecturally visible register. Without this,
+    /// every vote would itself be a new single point of failure right at
+    /// the synchronization point it protects.
+    fn write_reg_forwarded(&mut self, tid: usize, v: ValueId, val: u64, ready: u64, ty: Ty) {
+        let frame = self.threads[tid].frames.last_mut().expect("live frame");
+        frame.regs[v.0 as usize] = val & ty.mask();
+        frame.ready[v.0 as usize] = ready;
     }
 
     // --- transaction runtime -------------------------------------------------
@@ -1010,6 +1028,35 @@ impl<'m> Vm<'m> {
                     }
                 }
             },
+            Op::Vote { ty, a, b, c } => {
+                let (av, ar) = self.operand(tid, a);
+                let (bv, br) = self.operand(tid, b);
+                let (cv, cr) = self.operand(tid, c);
+                // Two-of-three majority: a single corrupted copy is masked
+                // in place and execution continues (Elzar's `vote()`).
+                let majority = if av == bv || av == cv {
+                    Some(av)
+                } else if bv == cv {
+                    Some(bv)
+                } else {
+                    None
+                };
+                match majority {
+                    Some(v) => {
+                        if !(av == bv && av == cv) {
+                            self.corrected_by_vote += 1;
+                        }
+                        let ready = ar.max(br).max(cr);
+                        let done = self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_vote);
+                        self.write_reg_forwarded(tid, result.unwrap(), v, done, *ty);
+                        Flow::Continue
+                    }
+                    // All three copies disagree: unrecoverable divergence,
+                    // handled exactly like a failed ILR check (rollback
+                    // inside a transaction, fail-stop outside).
+                    None => self.ilr_detect(tid),
+                }
+            }
             Op::Lock { addr } => {
                 let (av, ar) = self.operand(tid, addr);
                 self.exec_lock(tid, av, ar)

@@ -22,7 +22,7 @@
 
 use haft_faults::{run_campaign_from, CampaignConfig, CampaignReport};
 use haft_ir::module::Module;
-use haft_passes::{HardenConfig, PassManager, PassStats};
+use haft_passes::{Backend, HardenConfig, PassManager, PassStats};
 use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
 use haft_workloads::Workload;
 
@@ -67,6 +67,19 @@ impl<'a> Experiment<'a> {
         self.cfg = cfg;
         self.built = std::cell::OnceCell::new();
         self
+    }
+
+    /// Selects a hardening backend by its full-strength preset:
+    /// [`Backend::IlrTx`] is [`HardenConfig::haft`] (duplicate, detect,
+    /// roll back), [`Backend::Tmr`] is [`HardenConfig::tmr`] (triplicate
+    /// and mask by majority vote). Use [`Experiment::harden`] for
+    /// fine-grained pass configuration; like it, this invalidates the
+    /// cached hardened module.
+    pub fn backend(self, b: Backend) -> Self {
+        self.harden(match b {
+            Backend::IlrTx => HardenConfig::haft(),
+            Backend::Tmr => HardenConfig::tmr(),
+        })
     }
 
     /// Sets the whole VM configuration (default: [`VmConfig::default`]).

@@ -86,6 +86,21 @@
 //! Direct pass application (`harden`) remains available as a compat shim
 //! over [`passes::PassManager`], which is also the extension point for
 //! custom [`passes::Pass`] sequences.
+//!
+//! # Hardening backends
+//!
+//! Two strategies plug into the same pipeline via
+//! [`passes::Backend`]: the paper's detect-and-rollback HAFT
+//! (`Backend::IlrTx`, the default) and the Elzar-style
+//! triplicate-and-vote TMR (`Backend::Tmr`), which masks faults in place
+//! with no transactions. `Experiment::backend(Backend::Tmr)` selects the
+//! full-strength preset, and `compare` races the two in one report:
+//!
+//! ```text
+//! let report = Experiment::workload(&w)
+//!     .compare(&[HardenConfig::haft(), HardenConfig::tmr()]);
+//! // report.overhead("HAFT") vs report.overhead("TMR")
+//! ```
 
 pub mod experiment;
 
@@ -113,7 +128,8 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use haft_passes::harden;
     pub use haft_passes::{
-        HardenConfig, IlrConfig, OptLevel, Pass, PassManager, PassStats, TxConfig,
+        Backend, HardenConfig, IlrConfig, OptLevel, Pass, PassManager, PassStats, TmrConfig,
+        TxConfig,
     };
     pub use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};

@@ -1,5 +1,6 @@
 //! Unit tests for the `Experiment` pipeline API itself: variant
-//! ordering, report bookkeeping, and the recorded performance baseline.
+//! ordering, report bookkeeping, backend selection, and the recorded
+//! performance baseline.
 
 use haft::prelude::*;
 
@@ -74,9 +75,60 @@ fn experiment_campaign_matches_run_campaign() {
     let v =
         Experiment::workload(&w).harden(HardenConfig::haft()).vm(vm.clone()).campaign(cfg.clone());
 
-    #[allow(deprecated)]
-    let hardened = harden(&w.module, &HardenConfig::haft());
+    let hardened = PassManager::from_config(&HardenConfig::haft()).run_on(&w.module).0;
     let manual = run_campaign(&hardened, w.run_spec(), &CampaignConfig { vm, ..cfg });
 
     assert_eq!(v.campaign.unwrap().counts, manual.counts);
+}
+
+/// The acceptance grid for the pluggable-backend design: one `compare`
+/// call races the default backend (full HAFT) against TMR over the same
+/// native baseline, and a campaign against the TMR variant corrects by
+/// masking — nonzero vote-corrected outcomes, zero HTM transactions,
+/// zero rollback recoveries.
+#[test]
+fn compare_races_haft_against_tmr() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let report = Experiment::workload(&w)
+        .threads(2)
+        .compare(&[HardenConfig::default(), HardenConfig::tmr()]);
+    assert!(report.outputs_agree(), "{}", report.summary());
+    let labels: Vec<&str> = report.variants.iter().map(|v| v.label.as_str()).collect();
+    assert_eq!(labels, vec!["native", "HAFT", "TMR"]);
+    assert!(report.overhead("HAFT").unwrap() > 1.0);
+    assert!(report.overhead("TMR").unwrap() > 1.0);
+    // TMR runs the single `tmr` pass and publishes its vote count.
+    let tmr = report.variant("TMR").unwrap();
+    assert_eq!(tmr.pass_stats.pass_names(), vec!["tmr"]);
+    assert!(tmr.pass_stats.counter("tmr.votes").unwrap() > 0);
+    assert_eq!(tmr.run.htm.commits, 0, "TMR must not transactify");
+
+    let v = Experiment::workload(&w)
+        .backend(Backend::Tmr)
+        .vm(VmConfig { n_threads: 2, max_instructions: 100_000_000, ..Default::default() })
+        .campaign(CampaignConfig { injections: 60, seed: 11, ..Default::default() });
+    let campaign = v.campaign.unwrap();
+    assert!(
+        campaign.counts.get(&Outcome::VoteCorrected).copied().unwrap_or(0) > 0,
+        "TMR must mask some faults: {}",
+        campaign.summary()
+    );
+    assert_eq!(
+        campaign.counts.get(&Outcome::HaftCorrected).copied().unwrap_or(0),
+        0,
+        "no rollback machinery in the TMR backend"
+    );
+    assert_eq!(v.run.htm.commits, 0);
+    assert_eq!(v.run.recoveries, 0);
+}
+
+/// `Experiment::backend` selects each backend's full-strength preset.
+#[test]
+fn backend_builder_selects_presets() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let tmr = Experiment::workload(&w).backend(Backend::Tmr).run();
+    assert_eq!(tmr.label, "TMR");
+    let haft = Experiment::workload(&w).backend(Backend::IlrTx).run();
+    assert_eq!(haft.label, "HAFT");
+    assert_eq!(haft.run.output, tmr.run.output, "backends agree on fault-free output");
 }
