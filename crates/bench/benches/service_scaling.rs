@@ -1,0 +1,131 @@
+//! Service scaling: hardened backends under live YCSB traffic.
+//!
+//! Three tables the batch benches cannot produce:
+//!
+//! 1. closed-loop capacity (k req/s) and p99 latency for native / HAFT /
+//!    TMR at 1–8 shards on both YCSB serve mixes (B read-heavy, A
+//!    write-heavy);
+//! 2. an open-loop latency-vs-load sweep at 2 shards (where queueing and
+//!    the hardening tax compound in the tail);
+//! 3. availability under a 1 % per-request fault load — rollback
+//!    recovery (HAFT) vs. in-place masking (TMR) as a *service* metric.
+
+use haft::Experiment;
+use haft_apps::{kv_shard, KvSync, WorkloadMix};
+use haft_passes::HardenConfig;
+use haft_serve::{ArrivalMode, FaultLoad, ServeConfig, ServiceReport};
+
+type VariantCtor = fn() -> HardenConfig;
+const VARIANTS: [(&str, VariantCtor); 3] =
+    [("native", HardenConfig::native), ("HAFT", HardenConfig::haft), ("TMR", HardenConfig::tmr)];
+
+fn serve(hc: HardenConfig, cfg: &ServeConfig) -> ServiceReport {
+    let w = kv_shard(KvSync::Atomics);
+    Experiment::workload(&w).harden(hc).serve(cfg)
+}
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let shard_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
+    let requests = if fast { 240 } else { 2_000 };
+
+    let mut haft_2shard_rps = 0.0;
+    for (mix, mix_label) in
+        [(WorkloadMix::B, "B (95r/5u zipf)"), (WorkloadMix::A, "A (50r/50u zipf)")]
+    {
+        println!("\n=== service_scaling: closed-loop capacity, YCSB {mix_label} ===");
+        println!(
+            "{:<8}{:>13}{:>13}{:>13}{:>12}{:>12}{:>10}{:>9}",
+            "shards",
+            "native k/s",
+            "HAFT k/s",
+            "TMR k/s",
+            "HAFT p99us",
+            "TMR p99us",
+            "HAFT oh",
+            "TMR oh"
+        );
+        for &shards in shard_counts {
+            let cfg = ServeConfig {
+                requests,
+                mix,
+                shards,
+                arrival: ArrivalMode::ClosedLoop { clients: 8 * shards, think_ns: 0 },
+                ..ServeConfig::default()
+            };
+            let reports: Vec<ServiceReport> =
+                VARIANTS.iter().map(|(_, hc)| serve(hc(), &cfg)).collect();
+            let [native, haft, tmr] = &reports[..] else { unreachable!() };
+            assert_eq!(native.requests_served, requests as u64);
+            if mix == WorkloadMix::B && shards == 2 {
+                haft_2shard_rps = haft.achieved_rps;
+            }
+            println!(
+                "{:<8}{:>13.1}{:>13.1}{:>13.1}{:>12.2}{:>12.2}{:>9.2}x{:>8.2}x",
+                shards,
+                native.achieved_rps / 1e3,
+                haft.achieved_rps / 1e3,
+                tmr.achieved_rps / 1e3,
+                haft.latency.p99_ns as f64 / 1e3,
+                tmr.latency.p99_ns as f64 / 1e3,
+                native.achieved_rps / haft.achieved_rps,
+                native.achieved_rps / tmr.achieved_rps,
+            );
+        }
+    }
+
+    println!("\n=== open-loop p99 vs offered load, 2 shards, mix B ===");
+    println!(
+        "{:<12}{:>14}{:>12}{:>12}{:>12}{:>12}",
+        "load", "offered k/s", "HAFT p50us", "HAFT p99us", "TMR p50us", "TMR p99us"
+    );
+    let fracs: &[f64] = if fast { &[0.5, 1.2] } else { &[0.3, 0.6, 0.9, 1.2] };
+    for &frac in fracs {
+        let rate = haft_2shard_rps * frac;
+        let cfg = ServeConfig {
+            requests: requests / 2,
+            shards: 2,
+            batch: 1,
+            arrival: ArrivalMode::OpenLoop { rate_rps: rate },
+            ..ServeConfig::default()
+        };
+        let haft = serve(HardenConfig::haft(), &cfg);
+        let tmr = serve(HardenConfig::tmr(), &cfg);
+        println!(
+            "{:<12}{:>14.1}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
+            format!("{:.0}% cap", frac * 100.0),
+            rate / 1e3,
+            haft.latency.p50_ns as f64 / 1e3,
+            haft.latency.p99_ns as f64 / 1e3,
+            tmr.latency.p50_ns as f64 / 1e3,
+            tmr.latency.p99_ns as f64 / 1e3,
+        );
+    }
+
+    println!("\n=== availability under load: 1% per-request SEU, 2 shards, mix B ===");
+    println!(
+        "{:<8}{:>10}{:>10}{:>10}{:>11}{:>12}{:>10}",
+        "variant", "avail%", "sdc/M", "crashes", "corrected", "spike", "p999us"
+    );
+    for (label, hc) in VARIANTS {
+        let cfg = ServeConfig {
+            requests,
+            shards: 2,
+            faults: Some(FaultLoad { rate_per_request: 0.01, seed: 0xFA_17 }),
+            ..ServeConfig::default()
+        };
+        let r = serve(hc(), &cfg);
+        let f = r.faults.expect("fault report attached");
+        assert_eq!(f.counts.total(), requests as u64, "{label}: outcome counts must sum");
+        println!(
+            "{:<8}{:>9.2}%{:>10.0}{:>10}{:>11}{:>11.2}x{:>10.2}",
+            label,
+            f.availability_pct(),
+            f.sdc_per_million(),
+            f.crashed_batches,
+            f.corrected_batches,
+            f.recovery_spike_factor(),
+            r.latency.p999_ns as f64 / 1e3,
+        );
+    }
+}

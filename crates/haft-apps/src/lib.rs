@@ -26,5 +26,8 @@ pub mod kvstore;
 pub mod others;
 pub mod ycsb;
 
-pub use kvstore::{memcached, KvSync};
+pub use kvstore::{
+    golden_reply, kv_shard, memcached, patch_requests, value_of, KvSync, KV_KEYSPACE,
+    SHARD_CAPACITY,
+};
 pub use ycsb::{Op, WorkloadMix, YcsbGen};

@@ -150,6 +150,7 @@ pub fn leveldb(mix: WorkloadMix, scale: Scale) -> Workload {
     const TABLE: i64 = 4096;
     let name = match mix {
         WorkloadMix::A => "leveldb-A",
+        WorkloadMix::B => "leveldb-B",
         WorkloadMix::D => "leveldb-D",
         WorkloadMix::Uniform => "leveldb-U",
     };
@@ -243,6 +244,7 @@ pub fn sqlite(mix: WorkloadMix, scale: Scale) -> Workload {
     const ROWS: i64 = 2048;
     let name = match mix {
         WorkloadMix::A => "sqlite-A",
+        WorkloadMix::B => "sqlite-B",
         WorkloadMix::D => "sqlite-D",
         WorkloadMix::Uniform => "sqlite-U",
     };

@@ -11,6 +11,13 @@ pub enum Op {
 }
 
 impl Op {
+    /// The key this operation touches (what request routers hash).
+    pub fn key(self) -> u64 {
+        match self {
+            Op::Read(k) | Op::Update(k) | Op::Insert(k) => k,
+        }
+    }
+
     /// Encodes the operation for the IR program: `kind << 56 | key`.
     pub fn encode(self) -> u64 {
         match self {
@@ -21,11 +28,15 @@ impl Op {
     }
 }
 
-/// The two YCSB mixes the paper evaluates (Figure 11 / 12).
+/// The YCSB mixes: the two the paper evaluates (Figure 11 / 12) plus the
+/// standard read-heavy Workload B used as the serving default.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadMix {
     /// Workload A: 50 % reads, 50 % updates, Zipfian key distribution.
     A,
+    /// Workload B: 95 % reads, 5 % updates, Zipfian key distribution —
+    /// the read-heavy mix `haft-serve` defaults to.
+    B,
     /// Workload D: 95 % reads, 5 % inserts, "latest" distribution.
     D,
     /// mcblaster-style uniform reads over a small key range (the SEI
@@ -87,6 +98,14 @@ impl YcsbGen {
                 WorkloadMix::A => {
                     let k = self.zipfian();
                     if self.rng.chance(0.5) {
+                        Op::Read(k)
+                    } else {
+                        Op::Update(k)
+                    }
+                }
+                WorkloadMix::B => {
+                    let k = self.zipfian();
+                    if self.rng.chance(0.95) {
                         Op::Read(k)
                     } else {
                         Op::Update(k)
@@ -156,6 +175,64 @@ mod tests {
         let ops = g.generate(WorkloadMix::D, 10_000);
         let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
         assert!((300..800).contains(&inserts), "D inserts {inserts}");
+    }
+
+    /// Pins Workload B's op ratio: 95 % reads / 5 % updates, no inserts
+    /// (the read-heavy Zipfian mix `haft-serve` defaults to).
+    #[test]
+    fn mix_b_ratio_is_pinned() {
+        let mut g = YcsbGen::new(11, 1000);
+        let ops = g.generate(WorkloadMix::B, 10_000);
+        let reads = ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
+        let updates = ops.iter().filter(|o| matches!(o, Op::Update(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert!((9300..9700).contains(&reads), "B reads {reads}");
+        assert_eq!(reads + updates, 10_000);
+        assert_eq!(inserts, 0, "B never inserts");
+        assert!(ops.iter().all(|o| o.key() < 1000), "keys stay in range");
+    }
+
+    /// Distribution sanity for the Zipfian generator: the hot set is
+    /// concentrated the way YCSB's scrambled Zipfian (theta 0.99) should
+    /// be — the top 1 % of keys receive a majority of accesses.
+    #[test]
+    fn zipfian_top_one_percent_takes_majority() {
+        let keyspace = 10_000u64;
+        let draws = 50_000usize;
+        let mut g = YcsbGen::new(17, keyspace);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..draws {
+            let k = g.zipfian();
+            assert!(k < keyspace);
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = freqs.iter().take(keyspace as usize / 100).sum();
+        let share = top1pct as f64 / draws as f64;
+        assert!(share > 0.5, "top-1% share {share:.3} is not a majority");
+        // And it is far from degenerate: the hot set is spread over many
+        // keys, not a single one.
+        assert!(counts.len() > 1000, "only {} distinct keys drawn", counts.len());
+    }
+
+    /// Same-seed generators agree draw-for-draw on every distribution;
+    /// different seeds diverge.
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let mut a = YcsbGen::new(23, 5000);
+        let mut b = YcsbGen::new(23, 5000);
+        let za: Vec<u64> = (0..2000).map(|_| a.zipfian()).collect();
+        let zb: Vec<u64> = (0..2000).map(|_| b.zipfian()).collect();
+        assert_eq!(za, zb, "same-seed zipfian streams must agree");
+        for mix in [WorkloadMix::A, WorkloadMix::B, WorkloadMix::D, WorkloadMix::Uniform] {
+            let mut a = YcsbGen::new(29, 1000);
+            let mut b = YcsbGen::new(29, 1000);
+            assert_eq!(a.generate(mix, 500), b.generate(mix, 500), "{mix:?}");
+        }
+        let mut c = YcsbGen::new(24, 5000);
+        let zc: Vec<u64> = (0..2000).map(|_| c.zipfian()).collect();
+        assert_ne!(za, zc, "different seeds must diverge");
     }
 
     #[test]

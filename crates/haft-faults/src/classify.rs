@@ -90,6 +90,130 @@ pub fn classify(run: &RunResult, golden: &[u64]) -> Outcome {
     }
 }
 
+/// Outcome of one *request* inside a service batch run — the per-request
+/// refinement of [`Outcome`], which only knows whole runs. A service
+/// harness cares about a different axis than Table 1: did each client get
+/// a correct reply, and at what cost?
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RequestOutcome {
+    /// Correct reply from an undisturbed run.
+    Served,
+    /// Correct reply from a run that fired a recovery mechanism
+    /// (transactional rollback or majority-vote masking) — served, but
+    /// the batch paid the recovery latency.
+    ServedCorrected,
+    /// The run completed but this request's reply is wrong: silent data
+    /// corruption delivered to a client.
+    Sdc,
+    /// The run did not complete (hang, trap, fail-stop): the batch was
+    /// dropped and this request never got a reply.
+    Failed,
+}
+
+impl RequestOutcome {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestOutcome::Served => "served",
+            RequestOutcome::ServedCorrected => "served-corrected",
+            RequestOutcome::Sdc => "sdc",
+            RequestOutcome::Failed => "failed",
+        }
+    }
+
+    /// True when the client received a correct reply (the availability
+    /// numerator).
+    pub fn is_served(self) -> bool {
+        matches!(self, RequestOutcome::Served | RequestOutcome::ServedCorrected)
+    }
+}
+
+/// Aggregated per-request outcome counts; the invariant every consumer
+/// leans on is `total()` equals the number of requests offered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestCounts {
+    pub served: u64,
+    pub served_corrected: u64,
+    pub sdc: u64,
+    pub failed: u64,
+}
+
+impl RequestCounts {
+    /// Records one request outcome.
+    pub fn record(&mut self, o: RequestOutcome) {
+        match o {
+            RequestOutcome::Served => self.served += 1,
+            RequestOutcome::ServedCorrected => self.served_corrected += 1,
+            RequestOutcome::Sdc => self.sdc += 1,
+            RequestOutcome::Failed => self.failed += 1,
+        }
+    }
+
+    /// Merges another count set.
+    pub fn merge(&mut self, other: &RequestCounts) {
+        self.served += other.served;
+        self.served_corrected += other.served_corrected;
+        self.sdc += other.sdc;
+        self.failed += other.failed;
+    }
+
+    /// Total requests classified.
+    pub fn total(&self) -> u64 {
+        self.served + self.served_corrected + self.sdc + self.failed
+    }
+
+    /// Correct replies delivered, as a percentage of requests offered —
+    /// the datacenter-availability view of fault tolerance.
+    pub fn availability_pct(&self) -> f64 {
+        if self.total() == 0 {
+            return 100.0;
+        }
+        100.0 * (self.served + self.served_corrected) as f64 / self.total() as f64
+    }
+
+    /// Silent corruptions per million requests (the service-level SDC
+    /// rate the paper's per-run histogram cannot express).
+    pub fn sdc_per_million(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1e6 * self.sdc as f64 / self.total() as f64
+    }
+}
+
+/// Classifies every request of one service batch run against its
+/// per-request golden replies (`golden[i]` is the correct reply to
+/// request `i`; the run's `output[i]` is the reply it actually produced).
+///
+/// A run that did not complete marks the whole batch [`RequestOutcome::Failed`]
+/// — no replies were externalized. A completed run classifies
+/// reply-by-reply; correct replies downgrade to
+/// [`RequestOutcome::ServedCorrected`] when the run fired a recovery
+/// mechanism, because the whole batch shared the recovery stall. A
+/// completed run that emitted the wrong number of replies is corruption
+/// on every slot that disagrees (missing replies classify as SDC: the
+/// client got a malformed response, not none).
+pub fn classify_requests(run: &RunResult, golden: &[u64]) -> Vec<RequestOutcome> {
+    if run.outcome != RunOutcome::Completed {
+        return vec![RequestOutcome::Failed; golden.len()];
+    }
+    let corrected = run.recoveries > 0 || run.corrected_by_vote > 0;
+    golden
+        .iter()
+        .enumerate()
+        .map(|(i, want)| match run.output.get(i) {
+            Some(got) if got == want => {
+                if corrected {
+                    RequestOutcome::ServedCorrected
+                } else {
+                    RequestOutcome::Served
+                }
+            }
+            _ => RequestOutcome::Sdc,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +224,7 @@ mod tests {
             outcome,
             output,
             wall_cycles: 1,
+            phases: haft_vm::PhaseCycles::default(),
             cpu_cycles: 1,
             instructions: 1,
             register_writes: 1,
@@ -157,6 +282,73 @@ mod tests {
         let mut v = result(RunOutcome::Completed, vec![2], 0);
         v.corrected_by_vote = 2;
         assert_eq!(classify(&v, &golden), Outcome::Sdc, "a wrong vote is still corruption");
+    }
+
+    #[test]
+    fn per_request_classification_is_reply_by_reply() {
+        let golden = vec![10, 20, 30, 40];
+        // Clean completed run: every request served.
+        let clean = result(RunOutcome::Completed, vec![10, 20, 30, 40], 0);
+        assert_eq!(classify_requests(&clean, &golden), vec![RequestOutcome::Served; 4]);
+        // One wrong reply: only that request is SDC.
+        let one_bad = result(RunOutcome::Completed, vec![10, 99, 30, 40], 0);
+        assert_eq!(
+            classify_requests(&one_bad, &golden),
+            vec![
+                RequestOutcome::Served,
+                RequestOutcome::Sdc,
+                RequestOutcome::Served,
+                RequestOutcome::Served
+            ]
+        );
+        // Recovery fired: correct replies are served-corrected.
+        let recovered = result(RunOutcome::Completed, vec![10, 20, 30, 40], 2);
+        assert_eq!(
+            classify_requests(&recovered, &golden),
+            vec![RequestOutcome::ServedCorrected; 4]
+        );
+        let mut voted = result(RunOutcome::Completed, vec![10, 20, 30, 40], 0);
+        voted.corrected_by_vote = 1;
+        assert_eq!(classify_requests(&voted, &golden), vec![RequestOutcome::ServedCorrected; 4]);
+        // A failed run drops the whole batch.
+        let dead = result(RunOutcome::Detected, vec![], 0);
+        assert_eq!(classify_requests(&dead, &golden), vec![RequestOutcome::Failed; 4]);
+        // Truncated output: the missing tail is corruption.
+        let short = result(RunOutcome::Completed, vec![10, 20], 0);
+        assert_eq!(
+            classify_requests(&short, &golden),
+            vec![
+                RequestOutcome::Served,
+                RequestOutcome::Served,
+                RequestOutcome::Sdc,
+                RequestOutcome::Sdc
+            ]
+        );
+    }
+
+    #[test]
+    fn request_counts_sum_and_rates() {
+        let golden = vec![1, 2, 3, 4, 5];
+        let run = result(RunOutcome::Completed, vec![1, 2, 9, 4, 5], 0);
+        let mut counts = RequestCounts::default();
+        for o in classify_requests(&run, &golden) {
+            counts.record(o);
+        }
+        assert_eq!(counts.total(), 5, "outcome counts must sum to the request total");
+        assert_eq!(counts.sdc, 1);
+        assert!((counts.availability_pct() - 80.0).abs() < 1e-9);
+        assert!((counts.sdc_per_million() - 200_000.0).abs() < 1e-6);
+        // Merging preserves the invariant.
+        let mut more = RequestCounts::default();
+        for o in classify_requests(&result(RunOutcome::Hang, vec![], 0), &golden) {
+            more.record(o);
+        }
+        counts.merge(&more);
+        assert_eq!(counts.total(), 10);
+        assert_eq!(counts.failed, 5);
+        // Empty counts: vacuously fully available.
+        assert_eq!(RequestCounts::default().availability_pct(), 100.0);
+        assert_eq!(RequestCounts::default().sdc_per_million(), 0.0);
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod classify;
 pub mod report;
 
 pub use campaign::{run_campaign, run_campaign_from, CampaignConfig};
-pub use classify::{classify, Group, Outcome};
+pub use classify::{classify, classify_requests, Group, Outcome, RequestCounts, RequestOutcome};
 pub use report::CampaignReport;

@@ -1,0 +1,79 @@
+//! Arrival processes: how request traffic is offered to the service.
+
+use haft_ir::rng::Prng;
+
+/// How clients offer load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalMode {
+    /// Open loop: requests arrive on a Poisson process at `rate_rps`
+    /// regardless of completions — the YCSB/mcblaster shape, and the only
+    /// honest way to observe queueing collapse (a closed loop self-limits
+    /// and hides it, the "coordinated omission" trap).
+    OpenLoop { rate_rps: f64 },
+    /// Closed loop: `clients` concurrent clients, each issuing its next
+    /// request `think_ns` after the previous reply. Throughput is then
+    /// *measured*, not offered — the mode to use for capacity numbers.
+    ClosedLoop { clients: usize, think_ns: u64 },
+}
+
+/// Deterministic Poisson arrival-time generator (exponential gaps via
+/// inverse CDF over the seeded [`Prng`]).
+pub struct PoissonArrivals {
+    rng: Prng,
+    mean_gap_ns: f64,
+    clock_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `rate_rps` requests per second, starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn new(seed: u64, rate_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "open-loop arrival rate must be positive, got {rate_rps}");
+        PoissonArrivals { rng: Prng::new(seed), mean_gap_ns: 1e9 / rate_rps, clock_ns: 0.0 }
+    }
+
+    /// The next arrival timestamp in nanoseconds.
+    pub fn next_ns(&mut self) -> u64 {
+        // Exponential inter-arrival: -ln(U) * mean. Clamp U away from 0.
+        let u = self.rng.unit_f64().max(1e-12);
+        self.clock_ns += -u.ln() * self.mean_gap_ns;
+        self.clock_ns as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        // 1M rps -> 1000 ns mean gap.
+        let mut a = PoissonArrivals::new(42, 1_000_000.0);
+        let n = 20_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = a.next_ns();
+        }
+        let mean = last as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean gap {mean} ns");
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_monotone() {
+        let mut a = PoissonArrivals::new(7, 50_000.0);
+        let mut b = PoissonArrivals::new(7, 50_000.0);
+        let xs: Vec<u64> = (0..500).map(|_| a.next_ns()).collect();
+        let ys: Vec<u64> = (0..500).map(|_| b.next_ns()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "arrival times are non-decreasing");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_is_rejected() {
+        PoissonArrivals::new(1, 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Latency distribution accounting.
+
+/// Latency percentiles over all served requests, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes the distribution from raw per-request latencies
+    /// (consumed: the samples are sorted in place).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        LatencyStats {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: percentile(&samples, 50.0),
+            p95_ns: percentile(&samples, 95.0),
+            p99_ns: percentile(&samples, 99.0),
+            p999_ns: percentile(&samples, 99.9),
+            max_ns: *samples.last().unwrap(),
+        }
+    }
+
+    /// One-line human summary in microseconds.
+    pub fn summary(&self) -> String {
+        format!(
+            "p50 {:.1}us  p95 {:.1}us  p99 {:.1}us  p999 {:.1}us  max {:.1}us (mean {:.1}us, n={})",
+            self.p50_ns as f64 / 1e3,
+            self.p95_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.p999_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3,
+            self.mean_ns / 1e3,
+            self.count
+        )
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice. The epsilon absorbs
+/// binary-fraction noise (0.95 × 1000 evaluates just above 950, which
+/// would otherwise ceil to rank 951).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        // 1..=1000: p50 = 500, p99 = 990, p999 = 999, max = 1000.
+        let s = LatencyStats::from_samples((1..=1000).collect());
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_ns, 500);
+        assert_eq!(s.p95_ns, 950);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.p999_ns, 999);
+        assert_eq!(s.max_ns, 1000);
+        assert!((s.mean_ns - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_does_not_matter_and_singleton_works() {
+        let a = LatencyStats::from_samples(vec![5, 1, 9, 3, 7]);
+        let b = LatencyStats::from_samples(vec![9, 7, 5, 3, 1]);
+        assert_eq!(a, b);
+        let one = LatencyStats::from_samples(vec![42]);
+        assert_eq!(one.p50_ns, 42);
+        assert_eq!(one.p999_ns, 42);
+        assert_eq!(one.max_ns, 42);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        assert_eq!(LatencyStats::from_samples(vec![]), LatencyStats::default());
+    }
+}

@@ -1,0 +1,403 @@
+//! `haft-serve` — hardened backends under live traffic.
+//!
+//! The paper's headline evaluation is a *service* — memcached serving
+//! YCSB traffic (§6.1, Figures 11/12) — but batch runs only measure
+//! aggregate wall cycles. This crate puts a hardened key-value shard
+//! under an arrival process and measures what a datacenter operator
+//! would: throughput, tail latency (p50/p95/p99/p999), per-shard
+//! utilization, and — with fault injection attached — availability,
+//! client-visible SDC rate, and recovery-latency spikes (HAFT's rollback
+//! stalls vs. TMR's in-place masking, the Elzar tradeoff expressed in
+//! tail latency instead of mean overhead).
+//!
+//! # Model
+//!
+//! The harness is a deterministic discrete-event simulation:
+//!
+//! * **Shards** — N independent single-core VM instances of one hardened
+//!   [`haft_apps::kv_shard`] module (shard-per-core; the module is
+//!   hardened once and its request buffer patched per batch).
+//! * **Arrivals** — open-loop Poisson at a configured rate, or a closed
+//!   loop of C clients ([`ArrivalMode`]).
+//! * **Routing** — key-hash (shards own key partitions; Zipfian heat
+//!   shows up as utilization imbalance) or round-robin
+//!   ([`RouterPolicy`]).
+//! * **Service time** — a batch's simulated cycles
+//!   ([`haft_vm::PhaseCycles::service_cycles`]: the serve phase plus the
+//!   reply-emitting fini phase, *excluding* one-time setup) divided by
+//!   the configured clock, plus a fixed per-batch dispatch overhead.
+//!   Every request in a batch completes when the batch does.
+//! * **Faults** — per-batch single-event upsets at a configured
+//!   per-request rate; outcomes classify *per request* via
+//!   [`haft_faults::classify_requests`] against host-computed golden
+//!   replies. A failed batch drops its requests and stalls the shard for
+//!   a restart; a recovered batch's inflated cycles land in the tail of
+//!   the latency distribution exactly where an operator would see them.
+
+pub mod arrival;
+pub mod latency;
+pub mod report;
+pub mod router;
+pub mod shard;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use haft_apps::{golden_reply, Op, WorkloadMix, YcsbGen, KV_KEYSPACE, SHARD_CAPACITY};
+use haft_faults::{classify_requests, RequestCounts, RequestOutcome};
+use haft_ir::module::Module;
+use haft_ir::rng::Prng;
+use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
+
+pub use arrival::{ArrivalMode, PoissonArrivals};
+pub use latency::LatencyStats;
+pub use report::{FaultReport, ServiceReport, ShardStats};
+pub use router::RouterPolicy;
+pub use shard::BatchRunner;
+
+/// Fault injection attached to a service run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultLoad {
+    /// Probability that any given request's processing is hit by a
+    /// single-event upset (applied per batch as `rate × batch size`).
+    pub rate_per_request: f64,
+    /// Seed for injection planning (independent of the traffic seed).
+    pub seed: u64,
+}
+
+impl Default for FaultLoad {
+    fn default() -> Self {
+        FaultLoad { rate_per_request: 0.01, seed: 0xFA_17_5E }
+    }
+}
+
+/// One service experiment: traffic shape, fleet shape, cost model.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Total requests the arrival process offers.
+    pub requests: usize,
+    /// YCSB mix generating the request stream (default: the read-heavy
+    /// Workload B).
+    pub mix: WorkloadMix,
+    /// Arrival process (default: a closed loop of 8 zero-think clients —
+    /// the capacity-measurement shape).
+    pub arrival: ArrivalMode,
+    /// Number of independent single-core shards.
+    pub shards: usize,
+    /// Maximum requests coalesced into one VM run (clamped to
+    /// [`SHARD_CAPACITY`]).
+    pub batch: usize,
+    /// Request-to-shard routing policy.
+    pub router: RouterPolicy,
+    /// Simulated core clock, for the cycle → nanosecond conversion.
+    pub clock_ghz: f64,
+    /// Fixed per-batch dispatch overhead (network + syscall), ns.
+    pub dispatch_ns: u64,
+    /// Shard restart stall after a failed batch, ns.
+    pub restart_ns: u64,
+    /// Traffic seed (key draws, op mix, arrival jitter).
+    pub seed: u64,
+    /// Optional fault injection under load.
+    pub faults: Option<FaultLoad>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            requests: 1_000,
+            mix: WorkloadMix::B,
+            arrival: ArrivalMode::ClosedLoop { clients: 8, think_ns: 0 },
+            shards: 2,
+            batch: 8,
+            router: RouterPolicy::KeyHash,
+            clock_ghz: 2.0,
+            dispatch_ns: 200,
+            restart_ns: 5_000_000,
+            seed: 0x5EED_5E4E,
+            faults: None,
+        }
+    }
+}
+
+/// Simulation event. The heap orders on `(time, sequence)`; the derives
+/// only exist so tuples containing an `Ev` are comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Request `seq` reaches the router.
+    Arrive { seq: usize },
+    /// A shard finished (or gave up on) its current batch.
+    Complete { shard: usize },
+}
+
+struct ShardSim {
+    queue: VecDeque<usize>,
+    busy: bool,
+    stats: ShardStats,
+}
+
+/// The discrete-event simulation state for one service run.
+struct Sim<'m, 'c> {
+    cfg: &'c ServeConfig,
+    runner: BatchRunner<'m>,
+    gen: YcsbGen,
+    fault_rng: Option<Prng>,
+    /// Estimated register-writing instructions per request (the fault
+    /// occurrence population), from the calibration batch.
+    writes_per_req: u64,
+    batch_cap: usize,
+    n_shards: usize,
+    total: usize,
+    issued: usize,
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    tick: u64,
+    /// Request ledger, indexed by sequence number.
+    ops: Vec<Op>,
+    arrivals_ns: Vec<u64>,
+    shards: Vec<ShardSim>,
+    samples: Vec<u64>,
+    counts: RequestCounts,
+    faults: FaultReport,
+    clean_service_sum: f64,
+    clean_batches: u64,
+    batches: u64,
+    duration_ns: u64,
+}
+
+impl Sim<'_, '_> {
+    fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (cycles as f64 / self.cfg.clock_ghz) as u64
+    }
+
+    fn push_event(&mut self, at_ns: u64, ev: Ev) {
+        self.tick += 1;
+        self.heap.push(Reverse((at_ns, self.tick, ev)));
+    }
+
+    /// Issues one fresh request into the router at `at_ns`.
+    fn issue(&mut self, at_ns: u64) {
+        debug_assert!(self.issued < self.total);
+        let seq = self.ops.len();
+        self.ops.push(self.gen.generate(self.cfg.mix, 1)[0]);
+        self.arrivals_ns.push(at_ns);
+        self.issued += 1;
+        self.push_event(at_ns, Ev::Arrive { seq });
+    }
+
+    /// Draws this batch's injection plan, if fault load is attached.
+    fn draw_fault(&mut self, batch_len: usize) -> Option<FaultPlan> {
+        let rng = self.fault_rng.as_mut()?;
+        let rate = self.cfg.faults.expect("rng implies config").rate_per_request;
+        let p = (rate * batch_len as f64).min(1.0);
+        // Draw all three variates unconditionally so the plan stream is
+        // independent of earlier hit/miss outcomes.
+        let hit = rng.chance(p);
+        let occurrence = rng.below(self.writes_per_req * batch_len as u64);
+        let xor_mask = rng.next_u64();
+        hit.then_some(FaultPlan { occurrence, xor_mask })
+    }
+
+    /// Runs one batch on shard `s` starting at `now_ns`: executes the
+    /// VM, accounts latency and outcomes, schedules the completion
+    /// event, and (closed loop) re-issues the freed clients.
+    fn start_batch(&mut self, s: usize, now_ns: u64) {
+        let take = self.shards[s].queue.len().min(self.batch_cap);
+        debug_assert!(take > 0, "started a batch on an empty queue");
+        let seqs: Vec<usize> = self.shards[s].queue.drain(..take).collect();
+        let batch_ops: Vec<Op> = seqs.iter().map(|&q| self.ops[q]).collect();
+
+        let plan = self.draw_fault(batch_ops.len());
+        let injected = plan.is_some();
+        let run = self.runner.run_batch(&batch_ops, plan);
+        let service_ns = self.cycles_to_ns(run.phases.service_cycles()) + self.cfg.dispatch_ns;
+        let golden: Vec<u64> = batch_ops.iter().map(|&o| golden_reply(o)).collect();
+        let outcomes = classify_requests(&run, &golden);
+        debug_assert!(
+            injected || outcomes.iter().all(|&o| o == RequestOutcome::Served),
+            "undisturbed batch produced non-served outcomes: {outcomes:?}"
+        );
+
+        let crashed = run.outcome != RunOutcome::Completed;
+        let completion = now_ns + service_ns + if crashed { self.cfg.restart_ns } else { 0 };
+        for (&seq, &o) in seqs.iter().zip(&outcomes) {
+            self.counts.record(o);
+            if o != RequestOutcome::Failed {
+                self.samples.push(completion - self.arrivals_ns[seq]);
+            }
+        }
+
+        if injected {
+            self.faults.injected_batches += 1;
+            if crashed {
+                self.faults.crashed_batches += 1;
+            } else if run.recoveries > 0 || run.corrected_by_vote > 0 {
+                self.faults.corrected_batches += 1;
+                self.faults.max_corrected_service_ns =
+                    self.faults.max_corrected_service_ns.max(service_ns);
+            }
+        } else if !crashed {
+            self.clean_service_sum += service_ns as f64;
+            self.clean_batches += 1;
+        }
+
+        self.batches += 1;
+        let st = &mut self.shards[s].stats;
+        st.batches += 1;
+        st.busy_ns += completion - now_ns;
+        if crashed {
+            st.crashes += 1;
+        } else {
+            st.requests += seqs.len() as u64;
+        }
+        self.shards[s].busy = true;
+        self.duration_ns = self.duration_ns.max(completion);
+        self.push_event(completion, Ev::Complete { shard: s });
+
+        // Closed loop: each request in the batch frees its client at
+        // completion (crashed batches error out to the client, which
+        // retries with a fresh request after the same think time).
+        if let ArrivalMode::ClosedLoop { think_ns, .. } = self.cfg.arrival {
+            for _ in 0..seqs.len() {
+                if self.issued < self.total {
+                    self.issue(completion + think_ns);
+                }
+            }
+        }
+    }
+
+    /// Drains the event queue.
+    fn run(&mut self) {
+        while let Some(Reverse((t, _, ev))) = self.heap.pop() {
+            match ev {
+                Ev::Arrive { seq } => {
+                    let s = self.cfg.router.route(self.ops[seq], seq as u64, self.n_shards);
+                    self.shards[s].queue.push_back(seq);
+                    if !self.shards[s].busy {
+                        self.start_batch(s, t);
+                    }
+                }
+                Ev::Complete { shard: s } => {
+                    self.shards[s].busy = false;
+                    if !self.shards[s].queue.is_empty() {
+                        self.start_batch(s, t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drives `cfg.requests` of generated traffic through `cfg.shards`
+/// copies of the already-hardened `module` and reports service-level
+/// metrics.
+///
+/// `vm` supplies the cost model and HTM/transaction parameters; the
+/// harness pins it to one simulated thread per shard and sizes its
+/// memory arena to the module. `label` names the backend in the report.
+///
+/// Deterministic: same module, config, and seeds ⇒ same report.
+///
+/// # Panics
+///
+/// Panics if `module` was not built by [`haft_apps::kv_shard`] (the
+/// request-buffer globals are missing), the spec lacks the serve/fini
+/// entry points, or the configuration is degenerate (zero requests or
+/// shards, non-positive clock or open-loop rate).
+pub fn run_service(
+    module: &Module,
+    spec: RunSpec<'_>,
+    vm: VmConfig,
+    label: impl Into<String>,
+    cfg: &ServeConfig,
+) -> ServiceReport {
+    assert!(cfg.requests > 0, "a service run needs at least one request");
+    assert!(cfg.shards > 0, "a service run needs at least one shard");
+    assert!(spec.worker.is_some() && spec.fini.is_some(), "shard spec needs worker and fini");
+    assert!(cfg.clock_ghz > 0.0, "clock must be positive");
+    let total = cfg.requests;
+    let batch_cap = cfg.batch.clamp(1, SHARD_CAPACITY);
+
+    let mut runner = BatchRunner::new(module, spec, vm);
+
+    // Fault planning: estimate the per-request register-write population
+    // from one off-traffic calibration batch, so injection occurrences
+    // can be drawn uniformly over a batch's dynamic trace.
+    let writes_per_req = if cfg.faults.is_some() {
+        let mut cal_gen = YcsbGen::new(cfg.seed ^ 0xCA11_B007, KV_KEYSPACE);
+        let cal_ops = cal_gen.generate(cfg.mix, batch_cap);
+        let cal = runner.run_batch(&cal_ops, None);
+        assert_eq!(cal.outcome, RunOutcome::Completed, "calibration batch must complete");
+        (cal.register_writes / batch_cap as u64).max(1)
+    } else {
+        1
+    };
+
+    let mut sim = Sim {
+        cfg,
+        runner,
+        gen: YcsbGen::new(cfg.seed, KV_KEYSPACE),
+        fault_rng: cfg.faults.map(|f| Prng::new(f.seed)),
+        writes_per_req,
+        batch_cap,
+        n_shards: cfg.shards,
+        total,
+        issued: 0,
+        heap: BinaryHeap::new(),
+        tick: 0,
+        ops: Vec::with_capacity(total),
+        arrivals_ns: Vec::with_capacity(total),
+        shards: (0..cfg.shards)
+            .map(|_| ShardSim { queue: VecDeque::new(), busy: false, stats: ShardStats::default() })
+            .collect(),
+        samples: Vec::with_capacity(total),
+        counts: RequestCounts::default(),
+        faults: FaultReport::default(),
+        clean_service_sum: 0.0,
+        clean_batches: 0,
+        batches: 0,
+        duration_ns: 0,
+    };
+
+    // Seed the arrival process.
+    match cfg.arrival {
+        ArrivalMode::OpenLoop { rate_rps } => {
+            let mut poisson = PoissonArrivals::new(cfg.seed ^ 0x0A88_17A1, rate_rps);
+            for _ in 0..total {
+                let t = poisson.next_ns();
+                sim.issue(t);
+            }
+        }
+        ArrivalMode::ClosedLoop { clients, .. } => {
+            for _ in 0..clients.max(1).min(total) {
+                sim.issue(0);
+            }
+        }
+    }
+    sim.run();
+
+    assert_eq!(
+        sim.counts.total(),
+        total as u64,
+        "per-request outcome counts must sum to the offered request total"
+    );
+    let served = sim.counts.total() - sim.counts.failed;
+    let achieved_rps =
+        if sim.duration_ns == 0 { 0.0 } else { served as f64 * 1e9 / sim.duration_ns as f64 };
+    sim.faults.counts = sim.counts;
+    sim.faults.mean_clean_service_ns =
+        if sim.clean_batches == 0 { 0.0 } else { sim.clean_service_sum / sim.clean_batches as f64 };
+    ServiceReport {
+        label: label.into(),
+        requests_offered: sim.counts.total(),
+        requests_served: served,
+        duration_ns: sim.duration_ns,
+        offered_rps: match cfg.arrival {
+            ArrivalMode::OpenLoop { rate_rps } => Some(rate_rps),
+            ArrivalMode::ClosedLoop { .. } => None,
+        },
+        achieved_rps,
+        latency: LatencyStats::from_samples(sim.samples),
+        batches: sim.batches,
+        shards: sim.shards.into_iter().map(|s| s.stats).collect(),
+        faults: cfg.faults.map(|_| sim.faults),
+    }
+}

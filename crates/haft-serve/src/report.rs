@@ -1,0 +1,153 @@
+//! Service-level measurement report.
+
+use haft_faults::RequestCounts;
+
+use crate::latency::LatencyStats;
+
+/// Per-shard accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Requests this shard completed (including corrupted replies).
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Simulated time the shard spent serving (plus restart stalls).
+    pub busy_ns: u64,
+    /// Failed batches that forced a shard restart.
+    pub crashes: u64,
+}
+
+impl ShardStats {
+    /// Busy fraction of the whole service run.
+    pub fn utilization(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / duration_ns as f64
+        }
+    }
+}
+
+/// Fault accounting for a service run with injection attached: the
+/// datacenter view (availability, client-visible corruption rate,
+/// recovery stalls) rather than the per-run Table 1 histogram.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultReport {
+    /// Batches that received an injection.
+    pub injected_batches: u64,
+    /// Per-request outcomes over every request offered (clean and
+    /// faulty); `counts.total()` equals the offered request count.
+    pub counts: RequestCounts,
+    /// Batches dropped by a failed run (each also restarted its shard).
+    pub crashed_batches: u64,
+    /// Injected batches that fired a recovery mechanism (rollback or
+    /// vote) and still delivered correct replies.
+    pub corrected_batches: u64,
+    /// Service time of the slowest corrected batch — the recovery
+    /// latency spike (HAFT rollback stalls; TMR masks nearly in place).
+    pub max_corrected_service_ns: u64,
+    /// Mean service time of undisturbed batches — the spike baseline.
+    pub mean_clean_service_ns: f64,
+}
+
+impl FaultReport {
+    /// Correct replies delivered per requests offered, in percent.
+    pub fn availability_pct(&self) -> f64 {
+        self.counts.availability_pct()
+    }
+
+    /// Client-visible silent corruptions per million requests.
+    pub fn sdc_per_million(&self) -> f64 {
+        self.counts.sdc_per_million()
+    }
+
+    /// How much slower the worst corrected batch was than a clean one.
+    pub fn recovery_spike_factor(&self) -> f64 {
+        if self.mean_clean_service_ns <= 0.0 {
+            return 1.0;
+        }
+        (self.max_corrected_service_ns as f64 / self.mean_clean_service_ns).max(1.0)
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "avail {:.3}%  sdc/M {:.1}  crashes {}  corrected {} (spike {:.2}x)",
+            self.availability_pct(),
+            self.sdc_per_million(),
+            self.crashed_batches,
+            self.corrected_batches,
+            self.recovery_spike_factor()
+        )
+    }
+}
+
+/// Everything measured by one service run ([`crate::run_service`] /
+/// `Experiment::serve`).
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Harden-configuration label of the backend under load.
+    pub label: String,
+    /// Requests offered by the arrival process.
+    pub requests_offered: u64,
+    /// Requests that received a reply (correct or corrupted); the rest
+    /// died with failed batches.
+    pub requests_served: u64,
+    /// End-to-end simulated duration (first arrival to last completion).
+    pub duration_ns: u64,
+    /// Offered load; present only in open-loop mode (a closed loop
+    /// offers whatever it measures).
+    pub offered_rps: Option<f64>,
+    /// Measured completion throughput.
+    pub achieved_rps: f64,
+    /// Per-request latency distribution over served requests.
+    pub latency: LatencyStats,
+    /// Batches executed across all shards.
+    pub batches: u64,
+    /// Per-shard breakdown, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+    /// Present when the serve configuration attached fault injection.
+    pub faults: Option<FaultReport>,
+}
+
+impl ServiceReport {
+    /// Mean requests per batch — how much the batching knob actually
+    /// coalesced under this load.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests_served as f64 / self.batches as f64
+        }
+    }
+
+    /// The busiest shard's utilization — the saturation indicator.
+    pub fn max_utilization(&self) -> f64 {
+        self.shards.iter().map(|s| s.utilization(self.duration_ns)).fold(0.0, f64::max)
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}: {:.1}k req/s ({} of {} served, {} batches, mean batch {:.1})\n  {}",
+            self.label,
+            self.achieved_rps / 1e3,
+            self.requests_served,
+            self.requests_offered,
+            self.batches,
+            self.mean_batch_size(),
+            self.latency.summary()
+        );
+        let util: Vec<String> = self
+            .shards
+            .iter()
+            .map(|sh| format!("{:.0}%", 100.0 * sh.utilization(self.duration_ns)))
+            .collect();
+        s.push_str(&format!("\n  shard util [{}]", util.join(" ")));
+        if let Some(f) = &self.faults {
+            s.push_str("\n  faults: ");
+            s.push_str(&f.summary());
+        }
+        s
+    }
+}

@@ -1,0 +1,77 @@
+//! Request routing across shards.
+
+use haft_apps::Op;
+
+/// How requests map to shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Hash the key: every key has a home shard, so shard caches stay
+    /// key-partitioned. Under a Zipfian mix this is deliberately
+    /// imbalanced — hot keys pin their home shard — which is exactly what
+    /// the per-shard utilization report is there to show.
+    #[default]
+    KeyHash,
+    /// Spray requests round-robin: perfectly balanced load, no key
+    /// affinity (the stateless-service comparison point).
+    RoundRobin,
+}
+
+impl RouterPolicy {
+    /// The shard that serves request number `seq` with operation `op`.
+    pub fn route(self, op: Op, seq: u64, shards: usize) -> usize {
+        let n = shards.max(1) as u64;
+        match self {
+            RouterPolicy::KeyHash => (hash_key(op.key()) % n) as usize,
+            RouterPolicy::RoundRobin => (seq % n) as usize,
+        }
+    }
+}
+
+/// splitmix64 finalizer — decorrelated from the kvstore's bucket hash so
+/// shard choice and bucket choice do not alias.
+fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hash_is_stable_and_in_range() {
+        for shards in [1, 2, 4, 8] {
+            for key in 0..1000u64 {
+                let a = RouterPolicy::KeyHash.route(Op::Read(key), 0, shards);
+                let b = RouterPolicy::KeyHash.route(Op::Update(key), 99, shards);
+                assert_eq!(a, b, "routing is by key, not by op kind or sequence");
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn key_hash_spreads_uniform_keys() {
+        let shards = 4;
+        let mut counts = vec![0u64; shards];
+        for key in 0..10_000u64 {
+            counts[RouterPolicy::KeyHash.route(Op::Read(key), 0, shards)] += 1;
+        }
+        for &c in &counts {
+            assert!((2000..3000).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_ignores_keys() {
+        let shards = 3;
+        for seq in 0..30u64 {
+            assert_eq!(
+                RouterPolicy::RoundRobin.route(Op::Read(7), seq, shards),
+                (seq % 3) as usize
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! One shard: a hardened VM serving request batches.
+
+use haft_apps::{patch_requests, Op};
+use haft_ir::module::Module;
+use haft_vm::{FaultPlan, RunResult, RunSpec, Vm, VmConfig};
+
+/// Runs request batches against an already-hardened shard module.
+///
+/// Shards model independent cores, but the harness simulation itself is
+/// sequential discrete-event, so a single runner — and a single patchable
+/// module copy — serves every shard: batches never overlap in host time,
+/// only in *simulated* time.
+pub struct BatchRunner<'a> {
+    module: Module,
+    spec: RunSpec<'a>,
+    vm: VmConfig,
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Takes one clone of the hardened module (hardening happened once,
+    /// upstream, in the `Experiment` cache) and pins the VM to a single
+    /// simulated thread — a shard is one core.
+    pub fn new(hardened: &Module, spec: RunSpec<'a>, mut vm: VmConfig) -> Self {
+        for g in ["reqs", "n_reqs", "replies"] {
+            assert!(
+                hardened.global_by_name(g).is_some(),
+                "{}: not a shard-servable module (missing `{g}` global); \
+                 build the experiment over haft_apps::kv_shard",
+                hardened.name
+            );
+        }
+        vm.n_threads = 1;
+        vm.fault = None;
+        // Shard modules are tens of KiB of globals; the default 16 MiB
+        // arena would spend more time zeroing memory than interpreting.
+        // Size the arena to the module plus heap slack instead.
+        let needed: u64 = hardened.globals.iter().map(|g| g.size + 64).sum::<u64>() + (1 << 16);
+        vm.mem_bytes = vm.mem_bytes.min(needed.next_power_of_two().max(1 << 17));
+        BatchRunner { module: hardened.clone(), spec, vm }
+    }
+
+    /// Serves one batch, optionally with a single-event upset injected
+    /// into this batch's execution.
+    pub fn run_batch(&mut self, ops: &[Op], fault: Option<FaultPlan>) -> RunResult {
+        patch_requests(&mut self.module, ops);
+        let mut vm = self.vm.clone();
+        vm.fault = fault;
+        Vm::run(&self.module, vm, self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haft_apps::{golden_reply, kv_shard, KvSync, WorkloadMix, YcsbGen};
+    use haft_vm::RunOutcome;
+
+    #[test]
+    fn runner_serves_consecutive_batches() {
+        let w = kv_shard(KvSync::Atomics);
+        let mut runner = BatchRunner::new(&w.module, w.run_spec(), VmConfig::default());
+        let mut gen = YcsbGen::new(1, 1000);
+        for n in [1usize, 7, 32] {
+            let ops = gen.generate(WorkloadMix::B, n);
+            let r = runner.run_batch(&ops, None);
+            assert_eq!(r.outcome, RunOutcome::Completed);
+            assert_eq!(
+                r.output,
+                ops.iter().map(|&o| golden_reply(o)).collect::<Vec<_>>(),
+                "batch of {n}"
+            );
+            assert!(r.phases.service_cycles() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a shard-servable module")]
+    fn non_shard_module_is_rejected() {
+        let m = Module::new("empty");
+        BatchRunner::new(&m, RunSpec::default(), VmConfig::default());
+    }
+}

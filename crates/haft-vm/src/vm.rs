@@ -100,6 +100,29 @@ pub enum RunOutcome {
     Hang,
 }
 
+/// Wall-cycle accounting split by execution phase — the per-segment view
+/// of [`RunResult::wall_cycles`]. Service harnesses need it to charge a
+/// request's latency to the phases that actually serve it (the parallel
+/// phase and the reply-emitting `fini`) without folding in one-time setup
+/// cost, which on a real server is amortized across the process lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Serial setup phase (`init`).
+    pub init: u64,
+    /// Parallel phase wall time (slowest thread of `worker`).
+    pub worker: u64,
+    /// Serial reduction/output phase (`fini`).
+    pub fini: u64,
+}
+
+impl PhaseCycles {
+    /// The phases that serve a request once the process is warm: the
+    /// parallel phase plus the output phase.
+    pub fn service_cycles(&self) -> u64 {
+        self.worker + self.fini
+    }
+}
+
 /// Everything measured during one run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
@@ -109,6 +132,9 @@ pub struct RunResult {
     /// End-to-end simulated time: serial phases plus the slowest thread of
     /// the parallel phase.
     pub wall_cycles: u64,
+    /// `wall_cycles` split by phase (a phase the run never reached, or
+    /// stopped inside, reports the cycles accumulated up to the stop).
+    pub phases: PhaseCycles,
     /// Sum of all threads' busy cycles (coverage denominator).
     pub cpu_cycles: u64,
     /// Dynamic instructions executed.
@@ -245,6 +271,7 @@ pub struct Vm<'m> {
     fault: Option<FaultPlan>,
     wall_cycles: u64,
     cpu_cycles: u64,
+    phases: PhaseCycles,
 }
 
 impl<'m> Vm<'m> {
@@ -272,6 +299,7 @@ impl<'m> Vm<'m> {
             fault,
             wall_cycles: 0,
             cpu_cycles: 0,
+            phases: PhaseCycles::default(),
         }
     }
 
@@ -284,19 +312,28 @@ impl<'m> Vm<'m> {
 
     fn run_phases(&mut self, spec: RunSpec<'_>) -> RunOutcome {
         if let Some(name) = spec.init {
-            match self.run_serial(name) {
+            let before = self.wall_cycles;
+            let out = self.run_serial(name);
+            self.phases.init = self.wall_cycles - before;
+            match out {
                 RunOutcome::Completed => {}
                 other => return other,
             }
         }
         if let Some(name) = spec.worker {
-            match self.run_parallel(name) {
+            let before = self.wall_cycles;
+            let out = self.run_parallel(name);
+            self.phases.worker = self.wall_cycles - before;
+            match out {
                 RunOutcome::Completed => {}
                 other => return other,
             }
         }
         if let Some(name) = spec.fini {
-            match self.run_serial(name) {
+            let before = self.wall_cycles;
+            let out = self.run_serial(name);
+            self.phases.fini = self.wall_cycles - before;
+            match out {
                 RunOutcome::Completed => {}
                 other => return other,
             }
@@ -320,6 +357,7 @@ impl<'m> Vm<'m> {
             outcome,
             output,
             wall_cycles: self.wall_cycles,
+            phases: self.phases,
             cpu_cycles: self.cpu_cycles,
             instructions: self.instructions,
             register_writes: self.occ,

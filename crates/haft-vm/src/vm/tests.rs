@@ -671,3 +671,51 @@ fn adaptive_threshold_keeps_protection_under_conflicts() {
         fixed.wall_cycles
     );
 }
+
+#[test]
+fn phase_cycles_partition_wall_cycles() {
+    // A three-phase program: init seeds a global, workers add to it,
+    // fini emits. Every phase must be charged, and the per-phase split
+    // must sum exactly to the end-to-end wall-cycle count.
+    let mut m = Module::new("t");
+    let g = m.add_global("acc", 8 * 4);
+    let mut ib = FunctionBuilder::new("init", &[], None);
+    ib.set_non_local();
+    ib.store(Ty::I64, ib.iconst(Ty::I64, 5), Operand::GlobalAddr(g));
+    ib.ret(None);
+    m.push_func(ib.finish());
+    let mut wb = FunctionBuilder::new("worker", &[Ty::I64, Ty::I64], None);
+    wb.set_non_local();
+    let tid = wb.param(0);
+    let off = wb.mul(Ty::I64, tid, wb.iconst(Ty::I64, 8));
+    let slot = wb.add(Ty::I64, Operand::GlobalAddr(g), off);
+    wb.counted_loop(wb.iconst(Ty::I64, 0), wb.iconst(Ty::I64, 50), |b, i| {
+        let cur = b.load(Ty::I64, slot);
+        let nxt = b.add(Ty::I64, cur, i);
+        b.store(Ty::I64, nxt, slot);
+    });
+    wb.ret(None);
+    m.push_func(wb.finish());
+    let mut fb = FunctionBuilder::new("fini", &[], None);
+    fb.set_non_local();
+    let v = fb.load(Ty::I64, Operand::GlobalAddr(g));
+    fb.emit_out(Ty::I64, v);
+    fb.ret(None);
+    m.push_func(fb.finish());
+
+    let spec = RunSpec { init: Some("init"), worker: Some("worker"), fini: Some("fini") };
+    let cfg = VmConfig { n_threads: 2, ..Default::default() };
+    let r = run(&m, cfg, spec);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert!(r.phases.init > 0 && r.phases.worker > 0 && r.phases.fini > 0);
+    assert_eq!(r.phases.init + r.phases.worker + r.phases.fini, r.wall_cycles);
+    assert_eq!(r.phases.service_cycles(), r.wall_cycles - r.phases.init);
+    // The parallel phase dominates this program.
+    assert!(r.phases.worker > r.phases.init + r.phases.fini);
+
+    // A run with no init phase charges nothing to it.
+    let no_init =
+        run(&m, VmConfig::default(), RunSpec { fini: Some("fini"), ..Default::default() });
+    assert_eq!(no_init.phases.init, 0);
+    assert_eq!(no_init.phases.fini, no_init.wall_cycles);
+}

@@ -23,6 +23,7 @@
 use haft_faults::{run_campaign_from, CampaignConfig, CampaignReport};
 use haft_ir::module::Module;
 use haft_passes::{Backend, HardenConfig, PassManager, PassStats};
+use haft_serve::{ServeConfig, ServiceReport};
 use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
 use haft_workloads::Workload;
 
@@ -144,6 +145,7 @@ impl<'a> Experiment<'a> {
         let run = Vm::run(module, vm, self.spec);
         VariantReport {
             label: self.cfg.label(),
+            backend: self.cfg.backend,
             pass_stats,
             run,
             overhead_vs_native: None,
@@ -194,11 +196,36 @@ impl<'a> Experiment<'a> {
         let report = run_campaign_from(module, self.spec, &campaign_cfg, &golden);
         VariantReport {
             label: self.cfg.label(),
+            backend: self.cfg.backend,
             pass_stats: stats.clone(),
             run: golden,
             overhead_vs_native: None,
             campaign: Some(report),
         }
+    }
+
+    /// Hardens (cached) and puts the result under live traffic: drives
+    /// the configured request stream through `cfg.shards` simulated
+    /// shard cores of this experiment's module and reports throughput,
+    /// tail latency, per-shard utilization, and — when `cfg.faults` is
+    /// attached — availability and per-request outcomes.
+    ///
+    /// The experiment must be built over a shard-servable module
+    /// ([`haft_apps::kvstore::kv_shard`]); a latency or load sweep that
+    /// calls `serve` in a loop hardens once, via the same cache as every
+    /// other terminal op. The experiment's VM configuration supplies the
+    /// cost model; the harness pins it to one thread per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module lacks the shard request-buffer globals or
+    /// the configuration is degenerate (see [`haft_serve::run_service`]).
+    pub fn serve(&self, cfg: &ServeConfig) -> ServiceReport {
+        self.debug_assert_no_fault("serve");
+        let (module, _stats) = self.built();
+        let mut vm = self.vm.clone();
+        vm.fault = None;
+        haft_serve::run_service(module, self.spec, vm, self.cfg.label(), cfg)
     }
 
     /// Runs the native baseline plus every configuration in `configs`
@@ -231,6 +258,12 @@ pub struct VariantReport {
     /// [`HardenConfig::label`] of the configuration that produced this
     /// variant.
     pub label: String,
+    /// The hardening strategy the configuration selected — carried as
+    /// the enum so callers can dispatch on it directly instead of
+    /// string-matching labels like `TMR-tl`. (A `native` variant carries
+    /// the default [`Backend::IlrTx`] with both of its passes disabled,
+    /// exactly as its `HardenConfig` does.)
+    pub backend: Backend,
     /// Per-pass instruction deltas from the [`PassManager`].
     pub pass_stats: PassStats,
     /// The measured run (for campaigns: the fault-free reference run).

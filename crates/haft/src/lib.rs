@@ -22,6 +22,7 @@
 //! | [`faults`] | the Intel SDE + GDB fault injector |
 //! | [`model`] | the PRISM availability model (Figure 5/10) |
 //! | [`apps`] | memcached, LogCabin, Apache, LevelDB, SQLite case studies |
+//! | [`serve`] | the YCSB client cluster: sharded serving, tail latency, availability |
 //!
 //! # Examples
 //!
@@ -112,6 +113,7 @@ pub use haft_htm as htm;
 pub use haft_ir as ir;
 pub use haft_model as model;
 pub use haft_passes as passes;
+pub use haft_serve as serve;
 pub use haft_vm as vm;
 pub use haft_workloads as workloads;
 
@@ -131,6 +133,7 @@ pub mod prelude {
         Backend, HardenConfig, IlrConfig, OptLevel, Pass, PassManager, PassStats, TmrConfig,
         TxConfig,
     };
+    pub use haft_serve::{ArrivalMode, FaultLoad, RouterPolicy, ServeConfig, ServiceReport};
     pub use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }

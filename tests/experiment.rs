@@ -132,3 +132,56 @@ fn backend_builder_selects_presets() {
     assert_eq!(haft.label, "HAFT");
     assert_eq!(haft.run.output, tmr.run.output, "backends agree on fault-free output");
 }
+
+/// Every terminal op carries the selected `Backend` on its report as the
+/// enum, so callers dispatch on it instead of string-matching labels
+/// like `TMR-tl` (native carries the default `IlrTx` with both passes
+/// off, exactly as its `HardenConfig` does).
+#[test]
+fn variant_reports_expose_the_selected_backend() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let report = Experiment::workload(&w).threads(2).compare(&[
+        HardenConfig::haft(),
+        HardenConfig::tmr(),
+        HardenConfig::tmr_unoptimized(),
+    ]);
+    let backends: Vec<Backend> = report.variants.iter().map(|v| v.backend).collect();
+    assert_eq!(backends, vec![Backend::IlrTx, Backend::IlrTx, Backend::Tmr, Backend::Tmr]);
+    // No string matching needed to find the masking variant.
+    let tmr_count = report.variants.iter().filter(|v| v.backend == Backend::Tmr).count();
+    assert_eq!(tmr_count, 2);
+
+    // run() and campaign() carry it too.
+    let v = Experiment::workload(&w).backend(Backend::Tmr).run();
+    assert_eq!(v.backend, Backend::Tmr);
+    assert_eq!(v.label, "TMR");
+    let c = Experiment::workload(&w).threads(1).backend(Backend::Tmr).campaign(CampaignConfig {
+        injections: 4,
+        parallelism: 2,
+        ..Default::default()
+    });
+    assert_eq!(c.backend, Backend::Tmr);
+    assert!(c.campaign.is_some());
+}
+
+/// `Experiment::serve` reuses the lazily-cached hardened module: a load
+/// sweep over one experiment hardens once and the reports stay
+/// deterministic.
+#[test]
+fn serve_reuses_the_cached_hardened_module() {
+    use haft::apps::{kv_shard, KvSync};
+    let w = kv_shard(KvSync::Atomics);
+    let exp = Experiment::workload(&w).harden(HardenConfig::haft());
+    // Build once, serve twice: identical reports, and the pass stats the
+    // cache produced are the ones `build()` reports.
+    let (hardened, stats) = exp.build();
+    assert!(hardened.total_inst_count() > w.module.total_inst_count());
+    assert_eq!(stats.pass_names(), vec!["ilr", "tx"]);
+    let cfg = ServeConfig { requests: 60, ..Default::default() };
+    let a = exp.serve(&cfg);
+    let b = exp.serve(&cfg);
+    assert_eq!(a.label, "HAFT");
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.duration_ns, b.duration_ns);
+    assert_eq!(a.requests_served, 60);
+}
