@@ -11,14 +11,11 @@
 use haft_bench::{experiment, recommended_threshold};
 use haft_faults::{CampaignConfig, Group, Outcome};
 use haft_passes::HardenConfig;
-use haft_workloads::{workload_by_name, Scale};
-
-const PHOENIX: &[&str] =
-    &["histogram", "kmeans", "linearreg", "matrixmul", "pca", "stringmatch", "wordcount"];
+use haft_workloads::{workload_by_name, Scale, PHOENIX_BASE_NAMES};
 
 fn main() {
     let fast = haft_bench::fast_mode();
-    let names: &[&str] = if fast { &["histogram", "linearreg"] } else { PHOENIX };
+    let names: &[&str] = if fast { &["histogram", "linearreg"] } else { &PHOENIX_BASE_NAMES };
     let threads = 2;
     let injections = if fast { 40 } else { 200 };
 

@@ -10,24 +10,24 @@
 //! 3. availability under a 1 % per-request fault load — rollback
 //!    recovery (HAFT) vs. in-place masking (TMR) as a *service* metric.
 
+use haft::eval::serving_variants;
 use haft::Experiment;
 use haft_apps::{kv_shard, KvSync, WorkloadMix};
-use haft_passes::HardenConfig;
 use haft_serve::{ArrivalMode, FaultLoad, ServeConfig, ServiceReport};
-
-type VariantCtor = fn() -> HardenConfig;
-const VARIANTS: [(&str, VariantCtor); 3] =
-    [("native", HardenConfig::native), ("HAFT", HardenConfig::haft), ("TMR", HardenConfig::tmr)];
-
-fn serve(hc: HardenConfig, cfg: &ServeConfig) -> ServiceReport {
-    let w = kv_shard(KvSync::Atomics);
-    Experiment::workload(&w).harden(hc).serve(cfg)
-}
 
 fn main() {
     let fast = haft_bench::fast_mode();
     let shard_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
     let requests = if fast { 240 } else { 2_000 };
+
+    // The shared serving grid (haft::eval), hardened once per variant:
+    // every sweep below serves from the same cached modules.
+    let w = kv_shard(KvSync::Atomics);
+    let variants: Vec<(&str, Experiment<'_>)> = serving_variants()
+        .into_iter()
+        .map(|(label, hc)| (label, Experiment::workload(&w).harden(hc)))
+        .collect();
+    let exp = |label: &str| &variants.iter().find(|(l, _)| *l == label).unwrap().1;
 
     let mut haft_2shard_rps = 0.0;
     for (mix, mix_label) in
@@ -53,8 +53,7 @@ fn main() {
                 arrival: ArrivalMode::ClosedLoop { clients: 8 * shards, think_ns: 0 },
                 ..ServeConfig::default()
             };
-            let reports: Vec<ServiceReport> =
-                VARIANTS.iter().map(|(_, hc)| serve(hc(), &cfg)).collect();
+            let reports: Vec<ServiceReport> = variants.iter().map(|(_, e)| e.serve(&cfg)).collect();
             let [native, haft, tmr] = &reports[..] else { unreachable!() };
             assert_eq!(native.requests_served, requests as u64);
             if mix == WorkloadMix::B && shards == 2 {
@@ -89,8 +88,8 @@ fn main() {
             arrival: ArrivalMode::OpenLoop { rate_rps: rate },
             ..ServeConfig::default()
         };
-        let haft = serve(HardenConfig::haft(), &cfg);
-        let tmr = serve(HardenConfig::tmr(), &cfg);
+        let haft = exp("HAFT").serve(&cfg);
+        let tmr = exp("TMR").serve(&cfg);
         println!(
             "{:<12}{:>14.1}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
             format!("{:.0}% cap", frac * 100.0),
@@ -107,14 +106,14 @@ fn main() {
         "{:<8}{:>10}{:>10}{:>10}{:>11}{:>12}{:>10}",
         "variant", "avail%", "sdc/M", "crashes", "corrected", "spike", "p999us"
     );
-    for (label, hc) in VARIANTS {
+    for (label, e) in &variants {
         let cfg = ServeConfig {
             requests,
             shards: 2,
             faults: Some(FaultLoad { rate_per_request: 0.01, seed: 0xFA_17 }),
             ..ServeConfig::default()
         };
-        let r = serve(hc(), &cfg);
+        let r = e.serve(&cfg);
         let f = r.faults.expect("fault report attached");
         assert_eq!(f.counts.total(), requests as u64, "{label}: outcome counts must sum");
         println!(

@@ -2,44 +2,31 @@
 //!
 //! Each `benches/<id>.rs` target reproduces one table or figure of the
 //! paper's evaluation; `cargo bench --workspace` runs them all and prints
-//! the same rows/series the paper reports. Absolute numbers come from the
-//! simulator — EXPERIMENTS.md records the paper-vs-measured comparison.
+//! the same rows/series the paper reports. `REPRODUCTION.md` (generated
+//! by `haft-report`) is the durable, checked form of the same numbers.
 //!
-//! All measurement goes through the facade's [`Experiment`] pipeline;
-//! this crate only adds the paper's methodology defaults (per-benchmark
-//! transaction thresholds, the fast-CI switch) and table formatting.
+//! All measurement goes through the facade's [`Experiment`] pipeline.
+//! Methodology defaults (per-benchmark transaction thresholds, the
+//! standard variant grid, the perf VM shape) live in [`haft::eval`] so
+//! the bench targets and the report generator cannot drift apart; table
+//! formatting is `haft-report`'s render module. This crate only adds the
+//! fast-CI switch and thin wrappers.
 
 use haft::Experiment;
 use haft_passes::HardenConfig;
 use haft_vm::{RunResult, VmConfig};
 use haft_workloads::Workload;
 
-/// Per-benchmark transaction-size threshold, mirroring the paper's
-/// methodology: "we set for each benchmark the transaction size to the
-/// greatest value such that the percentage of aborts is sufficiently low"
-/// (§5.3 — e.g. 1000 for kmeans and pca, 5000 for stringmatch and
-/// blackscholes).
-pub fn recommended_threshold(name: &str) -> u64 {
-    match name {
-        "kmeans" | "pca" | "wordcount" | "streamcluster" | "vips" => 1000,
-        "swaptions" | "ferret" | "dedup" => 2000,
-        _ => 5000,
-    }
-}
+pub use haft::eval::recommended_threshold;
 
 /// Fast mode: honor `HAFT_BENCH_FAST=1` to shrink sweeps during CI runs.
 pub fn fast_mode() -> bool {
     std::env::var("HAFT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
 }
 
-/// Builds a VM configuration for a perf run.
+/// Builds a VM configuration for a perf run ([`haft::eval::perf_vm`]).
 pub fn vm_config(threads: usize, threshold: u64) -> VmConfig {
-    VmConfig {
-        n_threads: threads,
-        tx_threshold: threshold,
-        max_instructions: 2_000_000_000,
-        ..Default::default()
-    }
+    haft::eval::perf_vm(threads, threshold)
 }
 
 /// An [`Experiment`] over one workload, pre-wired with the bench VM
@@ -61,15 +48,12 @@ pub fn overhead(w: &Workload, hc: &HardenConfig, threads: usize) -> (f64, RunRes
 
 /// Prints a table header row.
 pub fn header(cols: &[&str]) {
-    let row: Vec<String> = cols.iter().map(|c| format!("{c:>12}")).collect();
-    println!("{:<16}{}", "benchmark", row.join(""));
-    println!("{}", "-".repeat(16 + 12 * cols.len()));
+    print!("{}", haft_report::render::console_header(cols, "benchmark"));
 }
 
 /// Prints one formatted row.
 pub fn row(name: &str, vals: &[f64]) {
-    let cells: Vec<String> = vals.iter().map(|v| format!("{v:>12.2}")).collect();
-    println!("{name:<16}{}", cells.join(""));
+    print!("{}", haft_report::render::console_row(name, vals));
 }
 
 #[cfg(test)]
@@ -77,11 +61,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn thresholds_follow_paper_examples() {
+    fn thresholds_are_the_shared_methodology() {
+        // The paper examples, via the deduped `haft::eval` definition.
         assert_eq!(recommended_threshold("kmeans"), 1000);
-        assert_eq!(recommended_threshold("pca"), 1000);
-        assert_eq!(recommended_threshold("stringmatch"), 5000);
         assert_eq!(recommended_threshold("blackscholes"), 5000);
+        assert_eq!(vm_config(4, 1000).tx_threshold, 1000);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The report's sections: one per reproduced paper artifact.
+//!
+//! A [`Section`] names itself, names the paper artifact it reproduces,
+//! and measures a [`SectionResult`] — tables, series, and prose notes —
+//! through the `haft::Experiment` facade. Sections are independent (any
+//! subset can run via `--section`) and every section honors
+//! [`ReportConfig::fast`] with a CI-sized sweep.
+
+use crate::render::{Series, Table};
+
+mod faults;
+mod overheads;
+mod serving;
+mod tradeoff;
+mod txsweep;
+
+pub use faults::FaultHistograms;
+pub use overheads::Overheads;
+pub use serving::Serving;
+pub use tradeoff::HaftVsElzar;
+pub use txsweep::TxSweep;
+
+/// How big a sweep the sections run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReportConfig {
+    /// CI-sized sweeps: fewer workloads, Small inputs, fewer injections.
+    /// Fast and full numbers are *not* comparable — snapshots record the
+    /// mode and `--check` refuses to compare across it.
+    pub fast: bool,
+}
+
+/// What one section measured.
+#[derive(Clone, Debug, Default)]
+pub struct SectionResult {
+    /// Prose lines rendered between the heading and the tables —
+    /// methodology (sweep sizes, seeds, scales) and interpretation.
+    pub notes: Vec<String>,
+    pub tables: Vec<Table>,
+    pub series: Vec<Series>,
+}
+
+/// One regenerable unit of the report.
+pub trait Section {
+    /// Stable slug: the snapshot filename (`report/<name>.json`) and the
+    /// `--section` argument.
+    fn name(&self) -> &'static str;
+    /// Human heading in `REPRODUCTION.md`.
+    fn title(&self) -> &'static str;
+    /// The paper artifact this section reproduces.
+    fn paper_ref(&self) -> &'static str;
+    /// Runs the experiments and returns the measured result.
+    fn run(&self, cfg: &ReportConfig) -> SectionResult;
+}
+
+/// Every registered section, in `REPRODUCTION.md` order.
+pub fn all_sections() -> Vec<Box<dyn Section>> {
+    vec![
+        Box::new(Overheads),
+        Box::new(FaultHistograms),
+        Box::new(TxSweep),
+        Box::new(Serving),
+        Box::new(HaftVsElzar),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_stable_and_unique() {
+        let sections = all_sections();
+        let names: Vec<&str> = sections.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["overheads", "fault-histograms", "tx-sweep", "serving", "haft-vs-elzar"]
+        );
+        for s in &sections {
+            assert!(!s.title().is_empty() && !s.paper_ref().is_empty(), "{}", s.name());
+            assert!(
+                s.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}: slug is a filename",
+                s.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Golden test for report generation: `--fast` mode renders every
+//! registered section with real measured numbers, snapshots round-trip
+//! through their JSON files, and the `--check` diff flags out-of-band
+//! values.
+//!
+//! The expensive part — actually running the experiments — happens once;
+//! every assertion reads the same generated report.
+
+use haft_report::snapshot::{diff, Mode, Snapshot};
+use haft_report::{all_sections, generate, ReportConfig};
+
+#[test]
+fn fast_report_renders_checks_and_round_trips() {
+    let report = generate(&ReportConfig { fast: true });
+    let registered = all_sections();
+
+    // Every registered section ran, in registry order, and measured
+    // something real.
+    assert_eq!(report.mode, Mode::Fast);
+    let names: Vec<&str> = report.sections.iter().map(|s| s.name.as_str()).collect();
+    let expected: Vec<&str> = registered.iter().map(|s| s.name()).collect();
+    assert_eq!(names, expected, "every registered section must run");
+    for s in &report.sections {
+        assert!(!s.result.tables.is_empty(), "{}: no tables", s.name);
+        assert!(!s.result.notes.is_empty(), "{}: no methodology notes", s.name);
+        for t in &s.result.tables {
+            assert!(!t.rows.is_empty(), "{}/{}: empty table", s.name, t.id);
+            for row in &t.rows {
+                assert!(
+                    row.values.iter().all(|v| v.is_finite()),
+                    "{}/{}/{}: non-finite cell",
+                    s.name,
+                    t.id,
+                    row.label
+                );
+            }
+        }
+    }
+
+    // Spot-check the physics: redundancy (HAFT, TMR) is never free —
+    // TX-only can dip below native in the cost model, so only the
+    // redundant variants are pinned ≥ 1 — and the trade-off table pins
+    // HAFT cheaper than TMR with zero TMR transactions.
+    let overheads = &report.sections[0].result.tables[0];
+    for row in &overheads.rows {
+        assert!(row.values.iter().all(|&v| v > 0.0), "overheads/{}: non-positive", row.label);
+        for col in ["HAFT", "TMR"] {
+            let idx = overheads.columns.iter().position(|c| c == col).unwrap() - 1;
+            assert!(
+                row.values[idx] >= 1.0,
+                "overheads/{} {col}: redundancy below native: {:?}",
+                row.label,
+                row.values
+            );
+        }
+    }
+    let tradeoff = &report.sections[4].result.tables[0];
+    let mean_row = &tradeoff.rows[0];
+    assert!(
+        mean_row.values[0] < mean_row.values[1],
+        "HAFT should be cheaper than TMR in the mean: {:?}",
+        mean_row.values
+    );
+    let commits_row =
+        tradeoff.rows.iter().find(|r| r.label.contains("HTM commits")).expect("commits row");
+    assert_eq!(commits_row.values[1], 0.0, "TMR must not transactify");
+
+    // The rendered REPRODUCTION.md carries every section, table, and a
+    // sparkline for every series.
+    let md = report.to_markdown();
+    for s in &report.sections {
+        assert!(md.contains(&s.title), "missing section title: {}", s.title);
+        assert!(md.contains(&format!("`report/{}.json`", s.name)), "missing TOC row: {}", s.name);
+        for t in &s.result.tables {
+            assert!(md.contains(&t.title), "missing table: {}/{}", s.name, t.id);
+        }
+        for series in &s.result.series {
+            assert!(md.contains(&series.title), "missing series: {}/{}", s.name, series.id);
+        }
+    }
+    assert!(md.contains("fast mode"), "the mode banner must name the mode");
+
+    // Snapshots: self-diff clean, JSON round-trip diff clean.
+    let snapshots = report.snapshots();
+    assert_eq!(snapshots.len(), report.sections.len());
+    for snap in &snapshots {
+        assert!(diff(snap, snap).is_empty(), "{}: self-diff", snap.section);
+        let reparsed = Snapshot::parse(&snap.render())
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", snap.section));
+        let violations = diff(snap, &reparsed);
+        assert!(violations.is_empty(), "{}: round-trip drifted: {violations:?}", snap.section);
+    }
+
+    // --check catches an out-of-band value: fake a committed snapshot
+    // whose pinned number is far outside the band, and one whose number
+    // drifted only epsilon (must pass).
+    let mut pinned = snapshots[0].clone();
+    let fresh = &snapshots[0];
+    pinned.tables[0].rows[0].values[0] *= 3.0;
+    let violations = diff(&pinned, fresh);
+    assert_eq!(violations.len(), 1, "exactly the faked value trips: {violations:?}");
+    assert!(violations[0].contains(&pinned.tables[0].rows[0].label), "{violations:?}");
+
+    let mut pinned = snapshots[0].clone();
+    pinned.tables[0].rows[0].values[0] *= 1.01;
+    assert!(diff(&pinned, fresh).is_empty(), "1% drift sits inside the ±15% band");
+
+    // A fast run never checks against full-mode pins.
+    let mut pinned = snapshots[0].clone();
+    pinned.mode = Mode::Full;
+    let violations = diff(&pinned, fresh);
+    assert!(violations[0].contains("mode"), "{violations:?}");
+}

@@ -33,4 +33,7 @@ pub mod parsec;
 pub mod phoenix;
 pub mod spec;
 
-pub use spec::{all_workloads, workload_by_name, Scale, Workload, WORKLOAD_NAMES};
+pub use spec::{
+    all_workloads, workload_by_name, Scale, Workload, PARSEC_NAMES, PHOENIX_BASE_NAMES,
+    PHOENIX_NAMES, WORKLOAD_NAMES,
+};

@@ -55,7 +55,8 @@ impl Workload {
     }
 }
 
-/// Names of all workloads, in the paper's presentation order.
+/// Names of all workloads, in the paper's presentation order (Phoenix
+/// first, then PARSEC — [`PHOENIX_NAMES`] ++ [`PARSEC_NAMES`]).
 pub const WORKLOAD_NAMES: [&str; 17] = [
     "histogram",
     "kmeans",
@@ -75,6 +76,28 @@ pub const WORKLOAD_NAMES: [&str; 17] = [
     "vips",
     "x264",
 ];
+
+/// The Phoenix 2.0 selection, including the authors' no-sharing rewrites.
+pub const PHOENIX_NAMES: [&str; 9] = [
+    "histogram",
+    "kmeans",
+    "kmeans-ns",
+    "linearreg",
+    "matrixmul",
+    "pca",
+    "stringmatch",
+    "wordcount",
+    "wordcount-ns",
+];
+
+/// The Phoenix applications as shipped (no `-ns` rewrites) — the set the
+/// paper's fault-injection and Elzar comparisons sweep.
+pub const PHOENIX_BASE_NAMES: [&str; 7] =
+    ["histogram", "kmeans", "linearreg", "matrixmul", "pca", "stringmatch", "wordcount"];
+
+/// The PARSEC 3.0 selection.
+pub const PARSEC_NAMES: [&str; 8] =
+    ["blackscholes", "canneal", "dedup", "ferret", "streamcluster", "swaptions", "vips", "x264"];
 
 /// Builds one workload by name.
 pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
@@ -119,6 +142,16 @@ mod tests {
         }
         assert!(workload_by_name("nope", Scale::Small).is_none());
         assert_eq!(all_workloads(Scale::Small).len(), WORKLOAD_NAMES.len());
+    }
+
+    #[test]
+    fn suite_lists_partition_the_registry() {
+        let all: Vec<&str> = PHOENIX_NAMES.iter().chain(PARSEC_NAMES.iter()).copied().collect();
+        assert_eq!(all, WORKLOAD_NAMES.to_vec(), "Phoenix ++ PARSEC is the full registry");
+        for name in PHOENIX_BASE_NAMES {
+            assert!(PHOENIX_NAMES.contains(&name), "{name} is a Phoenix app");
+            assert!(!name.ends_with("-ns"), "{name}: base list excludes rewrites");
+        }
     }
 
     #[test]

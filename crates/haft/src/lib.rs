@@ -103,6 +103,7 @@
 //! // report.overhead("HAFT") vs report.overhead("TMR")
 //! ```
 
+pub mod eval;
 pub mod experiment;
 
 pub use experiment::{Experiment, ExperimentReport, VariantReport};
@@ -120,7 +121,7 @@ pub use haft_workloads as workloads;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentReport, VariantReport};
-    pub use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Outcome};
+    pub use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Group, Outcome};
     pub use haft_ir::builder::FunctionBuilder;
     pub use haft_ir::inst::{BinOp, CmpOp, Op, Operand};
     pub use haft_ir::module::Module;
@@ -133,7 +134,10 @@ pub mod prelude {
         Backend, HardenConfig, IlrConfig, OptLevel, Pass, PassManager, PassStats, TmrConfig,
         TxConfig,
     };
-    pub use haft_serve::{ArrivalMode, FaultLoad, RouterPolicy, ServeConfig, ServiceReport};
+    pub use haft_serve::{
+        ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, ServeConfig,
+        ServiceReport, ShardStats,
+    };
     pub use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }
