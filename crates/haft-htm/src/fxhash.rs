@@ -1,0 +1,94 @@
+//! Deterministic multiply-rotate hasher for line-set bookkeeping.
+//!
+//! The conflict-detection maps (`line_users` and the per-thread
+//! read/write sets) are keyed by cache-line numbers and sit on the
+//! per-memory-access hot path of the VM. SipHash's per-lookup cost
+//! dominates there; this FxHash-style mixer is an order of magnitude
+//! cheaper and — unlike `RandomState` — fully deterministic, which the
+//! simulator wants anyway (no map in this crate is iterated in an
+//! order-sensitive way, but determinism keeps that a non-question).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-shot multiply-rotate hasher (the rustc FxHasher construction).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Deterministic `HashMap` over the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Deterministic `HashSet` over the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_bucket_across_maps() {
+        let mut a: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut b: FxHashSet<u64> = FxHashSet::default();
+        for k in [0u64, 1, 64, u64::MAX] {
+            a.insert(k, 1);
+            b.insert(k);
+        }
+        assert_eq!(a.len(), 4);
+        assert!(b.contains(&64));
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+}

@@ -25,6 +25,7 @@
 pub mod abort;
 pub mod cache;
 pub mod config;
+pub mod fxhash;
 pub mod stats;
 pub mod system;
 

@@ -1,12 +1,11 @@
 //! The HTM system: per-thread transactions, conflict detection, capacity.
 
-use std::collections::{HashMap, HashSet};
-
 use haft_ir::rng::Prng;
 
 use crate::abort::AbortCause;
 use crate::cache::L1Model;
 use crate::config::HtmConfig;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::stats::HtmStats;
 
 /// Whether an access reads or writes memory.
@@ -21,8 +20,8 @@ pub enum AccessKind {
 struct ThreadTx {
     active: bool,
     doomed: Option<AbortCause>,
-    read_lines: HashSet<u64>,
-    write_lines: HashSet<u64>,
+    read_lines: FxHashSet<u64>,
+    write_lines: FxHashSet<u64>,
     start_cycle: u64,
 }
 
@@ -45,7 +44,17 @@ pub struct Htm {
     cfg: HtmConfig,
     threads: Vec<ThreadTx>,
     cores: Vec<L1Model>,
-    line_users: HashMap<u64, LineUsers>,
+    line_users: FxHashMap<u64, LineUsers>,
+    /// The immediately preceding `access` call, if nothing else mutated
+    /// the system since. An identical repeat — the common case under ILR,
+    /// where master and shadow touch the same line back to back — is
+    /// fully idempotent (MRU re-touch, set re-insert, same conflict
+    /// victims, all already applied) and by construction hits, so it can
+    /// short-circuit without replaying the bookkeeping.
+    last_access: Option<(usize, u64, u64, AccessKind)>,
+    /// Number of threads currently inside a transaction. When zero,
+    /// `access` skips conflict and read/write-set bookkeeping entirely.
+    active_count: usize,
     /// Aggregate statistics.
     pub stats: HtmStats,
 }
@@ -58,7 +67,9 @@ impl Htm {
         Htm {
             threads: vec![ThreadTx::default(); n_threads],
             cores: (0..n_cores.max(1)).map(|_| L1Model::new(cfg.l1_sets, cfg.l1_ways)).collect(),
-            line_users: HashMap::new(),
+            line_users: FxHashMap::default(),
+            last_access: None,
+            active_count: 0,
             stats: HtmStats::default(),
             cfg,
         }
@@ -91,6 +102,9 @@ impl Htm {
         t.active = true;
         t.doomed = None;
         t.start_cycle = now_cycles;
+        self.active_count += 1;
+        // The next access must re-run tracking now that a tx is live.
+        self.last_access = None;
         self.stats.started += 1;
     }
 
@@ -107,6 +121,7 @@ impl Htm {
         let t = &mut self.threads[tid];
         t.active = false;
         t.doomed = None;
+        self.active_count -= 1;
         self.stats.commits += 1;
         true
     }
@@ -118,6 +133,7 @@ impl Htm {
         let t = &mut self.threads[tid];
         t.active = false;
         t.doomed = None;
+        self.active_count -= 1;
         self.stats.record_abort(cause);
     }
 
@@ -128,6 +144,9 @@ impl Htm {
     }
 
     fn release_lines(&mut self, tid: usize) {
+        // Released lines leave the tracking sets, so a repeated access is
+        // no longer a no-op.
+        self.last_access = None;
         let mask = !(1u64 << tid);
         let t = &mut self.threads[tid];
         for line in t.read_lines.drain().chain(t.write_lines.drain()) {
@@ -151,11 +170,35 @@ impl Htm {
     /// Returns true if every touched line was already L1-resident (the VM
     /// uses this to pick hit vs. miss latency).
     pub fn access(&mut self, tid: usize, addr: u64, len: u64, kind: AccessKind) -> bool {
-        let lines: Vec<u64> = self.cfg.lines_of_range(addr, len).collect();
+        // Inline `lines_of_range` so the iterator does not borrow `cfg`
+        // across the mutations below (which would force a per-access
+        // collect into a heap `Vec` — this is the VM's hottest call).
+        let first = addr / self.cfg.line_bytes;
+        let last = (addr + len.max(1) - 1) / self.cfg.line_bytes;
+        // Exact repeat of the previous access: every effect is already
+        // applied and the lines were just made resident.
+        if self.last_access == Some((tid, first, last, kind)) {
+            return true;
+        }
+        let core = self.cfg.core_of(tid);
+        if self.active_count == 0 {
+            // No transaction live anywhere: no conflict scan, no set
+            // tracking, no eviction dooms. Only the cache model advances.
+            let mut all_hit = true;
+            for line in first..=last {
+                let set = self.cfg.set_of(line);
+                if !self.cores[core].resident(set, line) {
+                    all_hit = false;
+                }
+                self.cores[core].touch(set, line);
+            }
+            self.last_access = Some((tid, first, last, kind));
+            return all_hit;
+        }
         let self_bit = 1u64 << tid;
         let mut all_hit = true;
-        for line in lines {
-            if !self.cores[self.cfg.core_of(tid)].resident(self.cfg.set_of(line), line) {
+        for line in first..=last {
+            if !self.cores[core].resident(self.cfg.set_of(line), line) {
                 all_hit = false;
             }
             // Conflict detection against other transactions.
@@ -192,10 +235,12 @@ impl Htm {
             // L1 pressure: every access touches the core's cache; an
             // evicted line aborts any resident transaction holding it in
             // its *write* set (read lines may spill, as in TSX).
-            let core = self.cfg.core_of(tid);
             if let Some(evicted) = self.cores[core].touch(self.cfg.set_of(line), line) {
-                for peer in self.core_threads(core) {
-                    if self.threads[peer].active
+                let (peers, n) =
+                    if self.cfg.smt { ([core * 2, core * 2 + 1], 2) } else { ([core, 0], 1) };
+                for &peer in peers.iter().take(n) {
+                    if peer < self.threads.len()
+                        && self.threads[peer].active
                         && self.threads[peer].write_lines.contains(&evicted)
                     {
                         self.doom(peer, AbortCause::Capacity);
@@ -203,16 +248,8 @@ impl Htm {
                 }
             }
         }
+        self.last_access = Some((tid, first, last, kind));
         all_hit
-    }
-
-    /// Logical threads hosted on a physical core.
-    fn core_threads(&self, core: usize) -> Vec<usize> {
-        if self.cfg.smt {
-            [core * 2, core * 2 + 1].into_iter().filter(|&t| t < self.threads.len()).collect()
-        } else {
-            vec![core]
-        }
     }
 
     fn doom(&mut self, tid: usize, cause: AbortCause) {

@@ -5,7 +5,7 @@ use haft_faults::RequestCounts;
 use crate::latency::LatencyStats;
 
 /// Per-shard accounting.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Requests this shard completed (including corrupted replies).
     pub requests: u64,
@@ -31,7 +31,7 @@ impl ShardStats {
 /// Fault accounting for a service run with injection attached: the
 /// datacenter view (availability, client-visible corruption rate,
 /// recovery stalls) rather than the per-run Table 1 histogram.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FaultReport {
     /// Batches that received an injection.
     pub injected_batches: u64,
@@ -84,7 +84,7 @@ impl FaultReport {
 
 /// Everything measured by one service run ([`crate::run_service`] /
 /// `Experiment::serve`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceReport {
     /// Harden-configuration label of the backend under load.
     pub label: String,

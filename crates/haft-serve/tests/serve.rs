@@ -13,6 +13,7 @@ use haft::Experiment;
 use haft_apps::{kv_shard, KvSync};
 use haft_passes::HardenConfig;
 use haft_serve::{ArrivalMode, FaultLoad, ServeConfig, ServiceReport};
+use haft_vm::Engine;
 
 /// A serve config sized for tests: small request counts, default mix B.
 fn base_cfg(requests: usize, shards: usize) -> ServeConfig {
@@ -196,6 +197,22 @@ fn sharding_scales_closed_loop_throughput() {
     // Key-hash routing under Zipfian heat: utilization is reported per
     // shard and at least one shard did real work.
     assert!(four.max_utilization() > 0.5);
+}
+
+/// The execution engine is invisible at the service level: the fused
+/// engine and the reference interpreter produce the *same*
+/// `ServiceReport`, field for field — same latency distribution, same
+/// shard accounting, same fault ledger. Service pricing is defined by
+/// the cycle model, not by how fast the host happens to dispatch ops.
+#[test]
+fn service_reports_are_engine_independent() {
+    let w = kv_shard(KvSync::Atomics);
+    let cfg = ServeConfig { faults: Some(FaultLoad::default()), ..base_cfg(200, 2) };
+    for hc in [HardenConfig::native(), HardenConfig::haft(), HardenConfig::tmr()] {
+        let interp = Experiment::workload(&w).harden(hc.clone()).engine(Engine::Interp).serve(&cfg);
+        let fused = Experiment::workload(&w).harden(hc.clone()).engine(Engine::Fused).serve(&cfg);
+        assert_eq!(interp, fused, "{}: engines priced the service differently", hc.label());
+    }
 }
 
 /// Degenerate configurations panic instead of silently coercing.

@@ -166,41 +166,90 @@ pub struct Scoreboard {
     rob: usize,
     /// Completion times of the last `rob` instructions (ring buffer).
     ring: Vec<u64>,
+    /// `issued / div_width` and `issued % div_width`, maintained
+    /// incrementally so the hot issue path avoids two integer divisions
+    /// (`structural` and the ring slot). `div_width` caches the width the
+    /// pair was computed against; a width change (possible only if a
+    /// caller varies `CostConfig::width` mid-run) recomputes from scratch.
+    q: u64,
+    r: u64,
+    div_width: u64,
+    /// `issued % rob` (the ring slot), maintained incrementally.
+    slot: usize,
 }
 
 impl Default for Scoreboard {
     fn default() -> Self {
-        Scoreboard { issued: 0, clock: 0, floor: 0, rob: 192, ring: Vec::new() }
+        Scoreboard {
+            issued: 0,
+            clock: 0,
+            floor: 0,
+            rob: 192,
+            ring: vec![0; 192],
+            q: 0,
+            r: 0,
+            div_width: 0,
+            slot: 0,
+        }
     }
 }
 
 impl Scoreboard {
     /// Creates a scoreboard with an explicit reorder-window depth.
     pub fn with_rob(rob: usize) -> Self {
-        Scoreboard { rob: rob.max(1), ..Default::default() }
+        let rob = rob.max(1);
+        Scoreboard { rob, ring: vec![0; rob], ..Default::default() }
+    }
+
+    /// `issued / width.max(1)`, via the incrementally maintained pair.
+    #[inline]
+    fn structural(&mut self, width: u64) -> u64 {
+        let w = width.max(1);
+        if w != self.div_width {
+            self.div_width = w;
+            self.q = self.issued / w;
+            self.r = self.issued % w;
+        }
+        self.q
+    }
+
+    /// Advances `issued` and the derived quotient/remainder/slot.
+    #[inline]
+    fn advance_issued(&mut self) {
+        self.issued += 1;
+        self.r += 1;
+        if self.r == self.div_width {
+            self.r = 0;
+            self.q += 1;
+        }
+        self.slot += 1;
+        if self.slot == self.rob {
+            self.slot = 0;
+        }
     }
 
     /// Issues one instruction whose operands are ready at `ready` and that
     /// takes `latency` cycles; returns its completion time.
+    #[inline(always)]
     pub fn issue(&mut self, width: u64, ready: u64, latency: u64) -> u64 {
-        let structural = self.issued / width.max(1);
+        let structural = self.structural(width);
         // Reorder-window constraint: wait for the instruction issued
         // `rob` slots ago to complete.
-        let slot = (self.issued % self.rob as u64) as usize;
-        let rob_ready = if self.ring.len() == self.rob { self.ring[slot] } else { 0 };
-        self.issued += 1;
+        let slot = self.slot;
+        // The ring starts pre-filled with zeros, so `ring[slot]` is the
+        // completion time of the op issued `rob` slots ago (or zero while
+        // the window has never filled) with no emptiness branch.
+        let rob_ready = self.ring[slot];
+        self.advance_issued();
         let start = structural.max(ready).max(self.floor).max(rob_ready);
         let done = start + latency;
-        if self.ring.len() < self.rob {
-            self.ring.push(done);
-        } else {
-            self.ring[slot] = done;
-        }
+        self.ring[slot] = done;
         self.clock = self.clock.max(done);
         done
     }
 
     /// Raises the floor (pipeline flush) to `t`.
+    #[inline]
     pub fn flush_to(&mut self, t: u64) {
         self.floor = self.floor.max(t);
         self.clock = self.clock.max(t);
@@ -210,16 +259,12 @@ impl Scoreboard {
     /// work to complete (pipeline drain) and nothing later starts before
     /// it finishes. Models `XBEGIN`/`XEND`, syscalls, and lock operations.
     pub fn issue_serial(&mut self, width: u64, latency: u64) -> u64 {
-        let structural = self.issued / width.max(1);
-        let slot = (self.issued % self.rob as u64) as usize;
-        self.issued += 1;
+        let structural = self.structural(width);
+        let slot = self.slot;
+        self.advance_issued();
         let start = structural.max(self.clock).max(self.floor);
         let done = start + latency;
-        if self.ring.len() < self.rob {
-            self.ring.push(done);
-        } else {
-            self.ring[slot] = done;
-        }
+        self.ring[slot] = done;
         self.clock = done;
         self.floor = done;
         done

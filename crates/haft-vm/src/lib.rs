@@ -25,4 +25,4 @@ pub mod vm;
 pub use cost::CostConfig;
 pub use fault::FaultPlan;
 pub use mem::{Memory, Trap};
-pub use vm::{PhaseCycles, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+pub use vm::{Engine, FuseStats, PhaseCycles, RunOutcome, RunResult, RunSpec, Vm, VmConfig};

@@ -45,7 +45,13 @@ impl std::fmt::Display for Trap {
 /// sharing a workload exhibits is therefore deliberate.
 #[derive(Clone, Debug)]
 pub struct Memory {
+    /// Physical backing: grows on demand up to `size`. Untouched memory
+    /// reads as zero either way, so laziness is unobservable; it exists
+    /// because zeroing the full address space on every `Vm::run` costs
+    /// more than short workloads themselves.
     bytes: Vec<u8>,
+    /// Logical size: the bounds-check limit.
+    size: u64,
     heap_next: u64,
     /// Base address of each global, indexed by `GlobalId`.
     pub global_bases: Vec<u64>,
@@ -58,7 +64,6 @@ impl Memory {
     ///
     /// Panics if the globals do not fit.
     pub fn new(m: &Module, size: u64) -> Self {
-        let mut bytes = vec![0u8; size as usize];
         let mut next = 64u64;
         let mut global_bases = Vec::with_capacity(m.globals.len());
         for g in &m.globals {
@@ -69,18 +74,31 @@ impl Memory {
                 base + g.size,
                 size
             );
-            if let GlobalInit::Bytes(init) = &g.init {
-                bytes[base as usize..base as usize + init.len()].copy_from_slice(init);
-            }
             global_bases.push(base);
             next = (base + g.size + 63) & !63;
         }
-        Memory { bytes, heap_next: next, global_bases }
+        let mut bytes = vec![0u8; (next as usize).min(size as usize)];
+        for (g, &base) in m.globals.iter().zip(&global_bases) {
+            if let GlobalInit::Bytes(init) = &g.init {
+                bytes[base as usize..base as usize + init.len()].copy_from_slice(init);
+            }
+        }
+        Memory { bytes, size, heap_next: next, global_bases }
     }
 
     /// Total mapped size in bytes.
     pub fn size(&self) -> u64 {
-        self.bytes.len() as u64
+        self.size
+    }
+
+    /// Ensures the backing store physically covers `end` bytes.
+    /// `end` has already passed the bounds check against `size`.
+    #[cold]
+    fn grow_to(&mut self, end: usize) {
+        // Geometric growth bounded by the logical size keeps the
+        // amortized cost O(high-water mark).
+        let target = (self.bytes.len() * 2).clamp(end, self.size as usize).max(end);
+        self.bytes.resize(target, 0);
     }
 
     /// Bump-allocates `size` bytes, 64-byte aligned.
@@ -105,32 +123,71 @@ impl Memory {
     /// Loads `len` bytes (1, 2, 4, or 8) little-endian.
     pub fn load(&self, addr: u64, len: u32) -> Result<u64, Trap> {
         self.check(addr, len as u64)?;
+        let a = addr as usize;
+        if a + len as usize > self.bytes.len() {
+            // In bounds but physically untouched: reads as zero.
+            return Ok(self.load_cold(a, len));
+        }
+        // Word-width fast paths: same bytes, same little-endian value,
+        // without the shift loop (this is on every interpreted load).
+        Ok(match len {
+            8 => u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap()),
+            4 => u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap()) as u64,
+            _ => {
+                let mut v = 0u64;
+                for i in (0..len as usize).rev() {
+                    v = (v << 8) | self.bytes[a + i] as u64;
+                }
+                v
+            }
+        })
+    }
+
+    /// Load straddling or beyond the physical high-water mark.
+    #[cold]
+    fn load_cold(&self, a: usize, len: u32) -> u64 {
         let mut v = 0u64;
         for i in (0..len as usize).rev() {
-            v = (v << 8) | self.bytes[addr as usize + i] as u64;
+            let byte = self.bytes.get(a + i).copied().unwrap_or(0);
+            v = (v << 8) | byte as u64;
         }
-        Ok(v)
+        v
     }
 
     /// Stores the low `len` bytes of `val` little-endian.
     pub fn store(&mut self, addr: u64, len: u32, val: u64) -> Result<(), Trap> {
         self.check(addr, len as u64)?;
-        for i in 0..len as usize {
-            self.bytes[addr as usize + i] = (val >> (8 * i)) as u8;
+        let a = addr as usize;
+        if a + len as usize > self.bytes.len() {
+            self.grow_to(a + len as usize);
+        }
+        match len {
+            8 => self.bytes[a..a + 8].copy_from_slice(&val.to_le_bytes()),
+            4 => self.bytes[a..a + 4].copy_from_slice(&(val as u32).to_le_bytes()),
+            _ => {
+                for i in 0..len as usize {
+                    self.bytes[a + i] = (val >> (8 * i)) as u8;
+                }
+            }
         }
         Ok(())
     }
 
     /// Reads a raw byte (no null-page check; used by diagnostics).
     pub fn byte(&self, addr: u64) -> u8 {
-        self.bytes[addr as usize]
+        assert!(addr < self.size, "byte read past memory end");
+        self.bytes.get(addr as usize).copied().unwrap_or(0)
     }
 
     /// Writes one byte with bounds checking (used for commit of tx write
     /// buffers).
     pub fn store_byte(&mut self, addr: u64, val: u8) -> Result<(), Trap> {
         self.check(addr, 1)?;
-        self.bytes[addr as usize] = val;
+        let a = addr as usize;
+        if a >= self.bytes.len() {
+            self.grow_to(a + 1);
+        }
+        self.bytes[a] = val;
         Ok(())
     }
 }

@@ -18,6 +18,26 @@ const FUNC_BASE: u64 = 0xF000_0000_0000_0000;
 /// Maximum call depth before a stack-overflow trap.
 const MAX_CALL_DEPTH: usize = 128;
 
+/// Execution engine selector.
+///
+/// Both engines compute the *same* run, bit for bit: identical
+/// [`RunResult`] (cycles, phases, HTM stats, outputs) and an identical
+/// dynamic register-write stream, so a [`FaultPlan`] occurrence lands on
+/// the same logical micro-op either way. `Fused` pre-decodes each
+/// function into a dense dispatch form (resolved jump targets and
+/// operands, fused super-instructions for the hot harden idioms, pooled
+/// register windows) and exists purely to make simulation wall-clock
+/// faster; `Interp` walks the IR directly and is kept as the executable
+/// reference the differential test harness pins `Fused` against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Reference interpreter: per-op IR walk, no pre-decoding.
+    Interp,
+    /// Pre-decoded direct dispatch with fused super-instructions.
+    #[default]
+    Fused,
+}
+
 /// VM configuration.
 #[derive(Clone, Debug)]
 pub struct VmConfig {
@@ -50,6 +70,9 @@ pub struct VmConfig {
     /// commit grows it back toward `tx_threshold`. Trades a little commit
     /// overhead in contended phases for far fewer wasted re-executions.
     pub adaptive_threshold: bool,
+    /// Execution engine. `Fused` (the default) and `Interp` are
+    /// bit-identical in every observable; see [`Engine`].
+    pub engine: Engine,
 }
 
 impl Default for VmConfig {
@@ -67,6 +90,7 @@ impl Default for VmConfig {
             max_instructions: 400_000_000,
             fault: None,
             adaptive_threshold: false,
+            engine: Engine::Fused,
         }
     }
 }
@@ -213,6 +237,16 @@ struct Thread {
     /// 1-bit branch predictor, keyed by (func, inst).
     bp: HashMap<u64, bool>,
     emitted: Vec<u64>,
+    /// Fused-engine speculative write buffer: word-granular overlay with
+    /// per-byte masks. Same contents as `overlay`, cheaper to probe; only
+    /// one of the two is ever populated (per [`Engine`]).
+    fovl: engine::FastOverlay,
+    /// Fused-engine `store_done` (open-addressed cell → completion time).
+    store_done_fast: engine::CellMap,
+    /// Fused-engine branch predictor: dense per-static-branch table
+    /// (0 = unknown, 1 = last not-taken, 2 = last taken), indexed by the
+    /// decode-time global conditional-branch id. Mirrors `bp` exactly.
+    bp_dense: Vec<u8>,
 }
 
 impl Thread {
@@ -234,6 +268,9 @@ impl Thread {
             last_poll_clock: 0,
             bp: HashMap::new(),
             emitted: Vec::new(),
+            fovl: engine::FastOverlay::new(),
+            store_done_fast: engine::CellMap::new(),
+            bp_dense: Vec::new(),
         }
     }
 
@@ -272,6 +309,16 @@ pub struct Vm<'m> {
     wall_cycles: u64,
     cpu_cycles: u64,
     phases: PhaseCycles,
+    /// Ops retired at the head of a fused super-instruction (diagnostic;
+    /// see [`Vm::fused_retired`]).
+    fused_retired: u64,
+    /// Register-window pool for the fused engine: retired call frames
+    /// donate their `(regs, ready)` vectors so calls stop allocating.
+    pool: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Scratch for parallel phi-move evaluation (fused engine).
+    phi_scratch: Vec<(u32, u64, u64, Ty)>,
+    /// Scratch for call-argument evaluation (fused engine).
+    arg_scratch: Vec<u64>,
 }
 
 impl<'m> Vm<'m> {
@@ -300,20 +347,48 @@ impl<'m> Vm<'m> {
             wall_cycles: 0,
             cpu_cycles: 0,
             phases: PhaseCycles::default(),
+            fused_retired: 0,
+            pool: Vec::new(),
+            phi_scratch: Vec::new(),
+            arg_scratch: Vec::new(),
         }
+    }
+
+    /// Decode-time fusion statistics for `module` under `cfg` — a
+    /// diagnostic for benchmarks and docs; does not run anything.
+    pub fn fusion_stats(module: &Module, cfg: &VmConfig) -> fuse::FuseStats {
+        let mem = Memory::new(module, cfg.mem_bytes);
+        decode::Decoded::decode(module, &mem, &cfg.cost).stats
+    }
+
+    /// Ops retired so far at the head of a fused super-instruction
+    /// (always zero under [`Engine::Interp`]). A diagnostic counter —
+    /// deliberately not part of [`RunResult`], which is engine-invariant.
+    pub fn fused_retired(&self) -> u64 {
+        self.fused_retired
     }
 
     /// Executes all phases of `spec` and returns the measurements.
     pub fn run(module: &'m Module, cfg: VmConfig, spec: RunSpec<'_>) -> RunResult {
         let mut vm = Vm::new(module, cfg);
-        let outcome = vm.run_phases(spec);
+        let decoded = match vm.cfg.engine {
+            Engine::Interp => None,
+            Engine::Fused => {
+                let d = decode::Decoded::decode(module, &vm.mem, &vm.cfg.cost);
+                for t in &mut vm.threads {
+                    t.bp_dense = vec![0u8; d.n_condbrs.max(1)];
+                }
+                Some(d)
+            }
+        };
+        let outcome = vm.run_phases(spec, decoded.as_ref());
         vm.finish(outcome)
     }
 
-    fn run_phases(&mut self, spec: RunSpec<'_>) -> RunOutcome {
+    fn run_phases(&mut self, spec: RunSpec<'_>, dc: Option<&decode::Decoded>) -> RunOutcome {
         if let Some(name) = spec.init {
             let before = self.wall_cycles;
-            let out = self.run_serial(name);
+            let out = self.run_serial(name, dc);
             self.phases.init = self.wall_cycles - before;
             match out {
                 RunOutcome::Completed => {}
@@ -322,7 +397,7 @@ impl<'m> Vm<'m> {
         }
         if let Some(name) = spec.worker {
             let before = self.wall_cycles;
-            let out = self.run_parallel(name);
+            let out = self.run_parallel(name, dc);
             self.phases.worker = self.wall_cycles - before;
             match out {
                 RunOutcome::Completed => {}
@@ -331,7 +406,7 @@ impl<'m> Vm<'m> {
         }
         if let Some(name) = spec.fini {
             let before = self.wall_cycles;
-            let out = self.run_serial(name);
+            let out = self.run_serial(name, dc);
             self.phases.fini = self.wall_cycles - before;
             match out {
                 RunOutcome::Completed => {}
@@ -401,20 +476,22 @@ impl<'m> Vm<'m> {
         t.overlay.clear();
         t.elided.clear();
         t.last_poll_clock = 0;
+        t.fovl.clear();
+        t.store_done_fast.clear();
     }
 
-    fn run_serial(&mut self, name: &str) -> RunOutcome {
+    fn run_serial(&mut self, name: &str, dc: Option<&decode::Decoded>) -> RunOutcome {
         let fid = self.func_id(name);
         assert!(self.m.func(fid).params.is_empty(), "serial phase {name} must take no params");
         self.reset_thread_for(0, fid, &[]);
-        let out = self.schedule(&[0]);
+        let out = self.schedule(&[0], dc);
         let clk = self.threads[0].sb.clock;
         self.wall_cycles += clk;
         self.cpu_cycles += clk;
         out
     }
 
-    fn run_parallel(&mut self, name: &str) -> RunOutcome {
+    fn run_parallel(&mut self, name: &str, dc: Option<&decode::Decoded>) -> RunOutcome {
         let fid = self.func_id(name);
         assert_eq!(self.m.func(fid).params.len(), 2, "worker {name} must take (tid, n)");
         let n = self.cfg.n_threads.max(1);
@@ -422,7 +499,7 @@ impl<'m> Vm<'m> {
             self.reset_thread_for(tid, fid, &[tid as u64, n as u64]);
         }
         let tids: Vec<usize> = (0..n).collect();
-        let out = self.schedule(&tids);
+        let out = self.schedule(&tids, dc);
         let wall = tids.iter().map(|&t| self.threads[t].sb.clock).max().unwrap_or(0);
         let cpu: u64 = tids.iter().map(|&t| self.threads[t].sb.clock).sum();
         self.wall_cycles += wall;
@@ -440,7 +517,7 @@ impl<'m> Vm<'m> {
     /// round-robin quantum scheduler leaves transactions open across
     /// other threads' entire quanta and inflates conflict rates by an
     /// order of magnitude).
-    fn schedule(&mut self, tids: &[usize]) -> RunOutcome {
+    fn schedule(&mut self, tids: &[usize], dc: Option<&decode::Decoded>) -> RunOutcome {
         loop {
             // Unblock pass: threads whose lock was released become ready.
             let mut all_done = true;
@@ -474,24 +551,48 @@ impl<'m> Vm<'m> {
             };
             let horizon = min_clock + window / 2 + self.rng.below(window);
 
+            // The two engines share this exact window protocol: per
+            // micro-op the order is [horizon check, budget check, step].
+            // Fused super-instructions replicate the same checks between
+            // their constituents, so the streams stay aligned.
             for &tid in tids {
                 if self.threads[tid].state != ThreadState::Ready {
                     continue;
                 }
-                while self.threads[tid].sb.clock < horizon {
-                    if self.instructions >= self.cfg.max_instructions {
-                        return RunOutcome::Hang;
-                    }
-                    match self.step(tid) {
-                        Flow::Continue => {}
-                        Flow::Stop(o) => return o,
-                        Flow::ThreadDone => {
-                            self.threads[tid].state = ThreadState::Done;
-                            break;
+                if let Some(d) = dc {
+                    while self.threads[tid].sb.clock < horizon {
+                        if self.instructions >= self.cfg.max_instructions {
+                            return RunOutcome::Hang;
                         }
-                        Flow::Blocked(lock) => {
-                            self.threads[tid].state = ThreadState::Blocked { lock };
-                            break;
+                        match self.step_fused(tid, horizon, d) {
+                            Flow::Continue => {}
+                            Flow::Stop(o) => return o,
+                            Flow::ThreadDone => {
+                                self.threads[tid].state = ThreadState::Done;
+                                break;
+                            }
+                            Flow::Blocked(lock) => {
+                                self.threads[tid].state = ThreadState::Blocked { lock };
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    while self.threads[tid].sb.clock < horizon {
+                        if self.instructions >= self.cfg.max_instructions {
+                            return RunOutcome::Hang;
+                        }
+                        match self.step(tid) {
+                            Flow::Continue => {}
+                            Flow::Stop(o) => return o,
+                            Flow::ThreadDone => {
+                                self.threads[tid].state = ThreadState::Done;
+                                break;
+                            }
+                            Flow::Blocked(lock) => {
+                                self.threads[tid].state = ThreadState::Blocked { lock };
+                                break;
+                            }
                         }
                     }
                 }
@@ -564,12 +665,14 @@ impl<'m> Vm<'m> {
         if let Some(cause) = self.htm.doomed(tid) {
             return Err(cause);
         }
-        // Flush the speculative write buffer.
+        // Flush the speculative write buffer (whichever engine's buffer
+        // is populated; the other is empty).
         let overlay = std::mem::take(&mut self.threads[tid].overlay);
         for (addr, byte) in overlay {
             // Bounds were checked when buffering.
             let _ = self.mem.store_byte(addr, byte);
         }
+        self.threads[tid].fovl.flush_into(&mut self.mem);
         self.htm.commit(tid);
         let max_threshold = self.cfg.tx_threshold;
         let adaptive = self.cfg.adaptive_threshold;
@@ -602,6 +705,7 @@ impl<'m> Vm<'m> {
         t.frames = snap.frames.clone();
         t.counter = snap.counter;
         t.overlay.clear();
+        t.fovl.clear();
         t.elided.clear();
         t.tx_depth = 0;
         let resume = t.sb.clock + penalty;
@@ -685,6 +789,11 @@ impl<'m> Vm<'m> {
                 v = (v << 8) | b as u64;
             }
             Ok(v)
+        } else if self.threads[tid].in_tx() && !self.threads[tid].fovl.is_empty() {
+            // Fused-engine buffer: same read-through semantics, probed at
+            // word granularity.
+            let base = self.mem.load(addr, len)?; // Bounds check + memory bytes.
+            Ok(self.threads[tid].fovl.merge(addr, len, base))
         } else {
             self.mem.load(addr, len)
         }
@@ -1258,6 +1367,7 @@ impl<'m> Vm<'m> {
 
 // --- pure evaluation helpers ---------------------------------------------------
 
+#[inline(always)]
 fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Trap> {
     use BinOp::*;
     if op.is_float() {
@@ -1315,6 +1425,7 @@ fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, Trap> {
     Ok(v & ty.mask())
 }
 
+#[inline(always)]
 fn eval_un(op: UnOp, ty: Ty, a: u64) -> u64 {
     match op {
         UnOp::Neg => (ty.sext(a).wrapping_neg() as u64) & ty.mask(),
@@ -1327,6 +1438,7 @@ fn eval_un(op: UnOp, ty: Ty, a: u64) -> u64 {
     }
 }
 
+#[inline(always)]
 fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
     use CmpOp::*;
     match op {
@@ -1349,6 +1461,7 @@ fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
     }
 }
 
+#[inline(always)]
 fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
     match kind {
         CastKind::ZExt => (a & from.mask()) & to.mask(),
@@ -1363,6 +1476,12 @@ fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
         CastKind::Bitcast => a & to.mask(),
     }
 }
+
+mod decode;
+mod engine;
+mod fuse;
+
+pub use fuse::FuseStats;
 
 #[cfg(test)]
 mod tests;

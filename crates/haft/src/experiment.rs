@@ -120,6 +120,15 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Convenience: the execution engine. Both engines produce identical
+    /// [`RunResult`]s (see [`haft_vm::Engine`]); selecting
+    /// [`haft_vm::Engine::Interp`] trades wall-clock speed for the
+    /// reference interpreter the differential harness pins against.
+    pub fn engine(mut self, engine: haft_vm::Engine) -> Self {
+        self.vm.engine = engine;
+        self
+    }
+
     /// Hardens a copy of the module (without running it) and returns it
     /// with the per-pass stats. Useful when only the transformed IR is
     /// needed — static instruction counts, printing, parsing.

@@ -138,6 +138,6 @@ pub mod prelude {
         ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, ServeConfig,
         ServiceReport, ShardStats,
     };
-    pub use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+    pub use haft_vm::{Engine, FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }
