@@ -1,0 +1,100 @@
+//! Runtime scaling: the work-stealing native mode against its DES twin.
+//!
+//! Two tables the simulation-only benches cannot produce:
+//!
+//! 1. native-mode wall-clock throughput (real req/s on this host) for
+//!    native / HAFT / TMR as the worker count sweeps 1 → host cores —
+//!    the multi-core saturation picture;
+//! 2. the twin check as a table: cycle-priced (virtual) throughput of
+//!    `ServeMode::Native` next to `ServeMode::Sim` at each shard count,
+//!    with their ratio.
+//!
+//! Wall-clock rows are host- and load-dependent by construction: quote
+//! them with a session-variance caveat, never pin them.
+
+use haft::eval::serving_variants;
+use haft::prelude::*;
+use haft_apps::{kv_shard, KvSync};
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let requests = if fast { 400 } else { 4_000 };
+
+    let w = kv_shard(KvSync::Atomics);
+    let variants: Vec<(&str, Experiment<'_>)> = serving_variants()
+        .into_iter()
+        .map(|(label, hc)| (label, Experiment::workload(&w).harden(hc)))
+        .collect();
+
+    // Worker sweep: 1, 2, 4, ... up to the host core count.
+    let mut worker_counts = vec![1usize];
+    let mut n = 2;
+    while n < cores {
+        worker_counts.push(n);
+        n *= 2;
+    }
+    if cores > 1 {
+        worker_counts.push(cores);
+    }
+
+    println!("\n=== runtime_scaling: native-mode wall-clock req/s ({cores}-core host) ===");
+    println!(
+        "{:<9}{:>14}{:>14}{:>14}{:>15}",
+        "workers", "native k/s", "HAFT k/s", "TMR k/s", "HAFT speedup"
+    );
+    let cfg_for = |shards: usize| ServeConfig {
+        requests,
+        shards,
+        arrival: ArrivalMode::ClosedLoop { clients: 8 * shards, think_ns: 0 },
+        ..ServeConfig::default()
+    };
+    let shards = (2 * cores).max(4);
+    let mut haft_one_worker = 0.0f64;
+    for &workers in &worker_counts {
+        let wall: Vec<f64> = variants
+            .iter()
+            .map(|(_, e)| {
+                e.serve_in(ServeMode::Native { workers }, &cfg_for(shards))
+                    .wall
+                    .expect("native mode fills the wall report")
+                    .achieved_rps
+            })
+            .collect();
+        let [native, haft, tmr] = wall[..] else { unreachable!() };
+        if workers == 1 {
+            haft_one_worker = haft;
+        }
+        println!(
+            "{:<9}{:>14.1}{:>14.1}{:>14.1}{:>14.2}x",
+            workers,
+            native / 1e3,
+            haft / 1e3,
+            tmr / 1e3,
+            haft / haft_one_worker.max(1.0),
+        );
+    }
+
+    println!("\n=== twin check: cycle-priced k req/s, native vs sim (HAFT backend) ===");
+    println!("{:<8}{:>12}{:>12}{:>9}", "shards", "sim k/s", "native k/s", "ratio");
+    let shard_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
+    let haft_exp = &variants.iter().find(|(l, _)| *l == "HAFT").unwrap().1;
+    for &shards in shard_counts {
+        let cfg = cfg_for(shards);
+        let sim = haft_exp.serve_in(ServeMode::Sim, &cfg);
+        let nat = haft_exp.serve_in(ServeMode::Native { workers: cores }, &cfg);
+        assert_eq!(sim.requests_served, nat.requests_served);
+        let ratio = nat.achieved_rps / sim.achieved_rps;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "{shards} shard(s): twin ratio {ratio:.3} left the tolerance band"
+        );
+        println!(
+            "{:<8}{:>12.1}{:>12.1}{:>9.3}",
+            shards,
+            sim.achieved_rps / 1e3,
+            nat.achieved_rps / 1e3,
+            ratio
+        );
+    }
+}

@@ -67,7 +67,9 @@ pub mod tmr;
 pub mod tx;
 
 pub use ilr::IlrConfig;
-pub use manager::{IlrPass, Pass, PassManager, PassRecord, PassStats, TmrPass, TxPass};
+pub use manager::{
+    harden_runs_for, IlrPass, Pass, PassManager, PassRecord, PassStats, TmrPass, TxPass,
+};
 #[allow(deprecated)]
 pub use pipeline::harden;
 pub use pipeline::{Backend, HardenConfig, OptLevel};

@@ -247,6 +247,9 @@ impl PassManager {
     /// With boundary verification enabled, panics naming the offending
     /// pass if the module fails [`verify_module`] at any pass boundary.
     pub fn run(&self, m: &mut Module) -> PassStats {
+        if !self.passes.is_empty() {
+            bump_harden_runs(&m.name);
+        }
         let mut stats = PassStats::default();
         for pass in &self.passes {
             let before = m.total_inst_count();
@@ -272,6 +275,28 @@ impl PassManager {
         let stats = self.run(&mut out);
         (out, stats)
     }
+}
+
+/// Process-wide count of non-empty pipeline runs, keyed by module name.
+///
+/// Hardening is the expensive, cacheable step of every experiment; this
+/// counter exists so tests can pin that a sweep — any number of serve
+/// calls, shard counts, or execution modes over one configuration —
+/// hardened its module exactly once (the `Experiment` cache contract).
+/// Tests that assert on it should use a uniquely named module: the
+/// counter is global to the process and other tests run in parallel.
+pub fn harden_runs_for(module_name: &str) -> u64 {
+    harden_counter().lock().unwrap().get(module_name).copied().unwrap_or(0)
+}
+
+fn bump_harden_runs(module_name: &str) {
+    *harden_counter().lock().unwrap().entry(module_name.to_string()).or_insert(0) += 1;
+}
+
+fn harden_counter() -> &'static std::sync::Mutex<std::collections::HashMap<String, u64>> {
+    static COUNTER: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<String, u64>>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(Default::default)
 }
 
 #[cfg(test)]

@@ -22,6 +22,14 @@ pub enum Tolerance {
     /// where a relative band would be uselessly loose near 100 and
     /// uselessly strict near 0.
     Abs(f64),
+    /// Informational, never checked: the values are host-dependent
+    /// measurements (native-mode wall-clock throughput) that no band
+    /// could meaningfully pin. `--check` always passes these cells, and
+    /// the Markdown rendering shows the table *structure* but replaces
+    /// every value with `·` so `REPRODUCTION.md` stays byte-stable
+    /// across hosts — the real numbers live in the JSON snapshot and
+    /// the bench output.
+    Info,
 }
 
 impl Tolerance {
@@ -31,7 +39,14 @@ impl Tolerance {
         match *self {
             Tolerance::Rel(frac) => delta <= frac * pinned.abs().max(1.0),
             Tolerance::Abs(abs) => delta <= abs,
+            Tolerance::Info => true,
         }
+    }
+
+    /// True when the values are informational only — unchecked by
+    /// `--check` and elided from the Markdown rendering.
+    pub fn is_info(&self) -> bool {
+        matches!(self, Tolerance::Info)
     }
 
     /// Short human description, e.g. `±15% rel` or `±5.0 abs`.
@@ -39,6 +54,7 @@ impl Tolerance {
         match *self {
             Tolerance::Rel(frac) => format!("±{:.0}% rel", frac * 100.0),
             Tolerance::Abs(abs) => format!("±{abs} abs"),
+            Tolerance::Info => "informational, not pinned".to_string(),
         }
     }
 }
@@ -116,8 +132,14 @@ impl Table {
         s.push_str(&"---:|".repeat(self.columns.len() - 1));
         s.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.values.iter().map(|v| format!("{v:.*}", self.precision)).collect();
+            // Info tables render their structure but not their values:
+            // the numbers are host-dependent, and a committed
+            // REPRODUCTION.md must not change between hosts.
+            let cells: Vec<String> = if self.tolerance.is_info() {
+                row.values.iter().map(|_| "·".to_string()).collect()
+            } else {
+                row.values.iter().map(|v| format!("{v:.*}", self.precision)).collect()
+            };
             s.push_str(&format!("| {} | {} |\n", esc(&row.label), cells.join(" | ")));
         }
         s
@@ -245,6 +267,20 @@ mod tests {
         assert!(!Tolerance::Abs(5.0).allows(97.0, 91.0));
         assert_eq!(Tolerance::Rel(0.15).describe(), "±15% rel");
         assert_eq!(Tolerance::Abs(5.0).describe(), "±5 abs");
+        // Info allows anything — it is not a band at all.
+        assert!(Tolerance::Info.allows(0.0, 1e12));
+        assert!(Tolerance::Info.is_info());
+        assert_eq!(Tolerance::Info.describe(), "informational, not pinned");
+    }
+
+    #[test]
+    fn info_tables_render_structure_without_values() {
+        let mut t = Table::new("t", "Wall clock", &["backend", "req/s"]).tolerance(Tolerance::Info);
+        t.push_row("HAFT", vec![123_456.78]);
+        let md = t.to_markdown();
+        assert!(md.contains("**Wall clock** (band informational, not pinned)"));
+        assert!(md.contains("| HAFT | · |"), "values elided from markdown: {md}");
+        assert!(!md.contains("123"), "host-dependent value leaked into markdown: {md}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use haft::eval::serving_variants;
 use haft::Experiment;
 use haft_apps::{kv_shard, KvSync, WorkloadMix};
-use haft_serve::{ArrivalMode, FaultLoad, ServeConfig, ServiceReport};
+use haft_serve::{ArrivalMode, FaultLoad, ServeConfig, ServeMode, ServiceReport};
 
 use crate::render::{Series, Table, Tolerance};
 use crate::section::{ReportConfig, Section, SectionResult};
@@ -130,6 +130,45 @@ impl Section for Serving {
             );
         }
 
+        // The work-stealing native runtime, next to its DES twin. The
+        // wall-clock column is real threads on whatever host runs the
+        // report — host- and load-dependent by construction — so the
+        // table is informational (`Tolerance::Info`): its structure is
+        // pinned and `--check`ed, its values live only in the JSON
+        // snapshot and are elided from the Markdown. The twin ratio
+        // (native cycle-priced throughput over the simulation's) is the
+        // contract the haft-runtime test suite enforces with a hard band.
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut runtime = Table::new(
+            "runtime",
+            "Native runtime at 2 shards, one worker per host core: wall-clock vs cycle-priced \
+             k req/s (informational, host-dependent — values in report/serving.json)",
+            &["variant", "wall k/s", "native cycle k/s", "sim cycle k/s", "twin ratio"],
+        )
+        .tolerance(Tolerance::Info);
+        let rcfg = ServeConfig {
+            requests: if cfg.fast { 400 } else { requests },
+            mix: WorkloadMix::B,
+            shards: 2,
+            arrival: ArrivalMode::ClosedLoop { clients: 16, think_ns: 0 },
+            ..ServeConfig::default()
+        };
+        for (label, exp) in &variants {
+            let sim = exp.serve_in(ServeMode::Sim, &rcfg);
+            let nat = exp.serve_in(ServeMode::Native { workers }, &rcfg);
+            assert_eq!(sim.requests_served, nat.requests_served, "{label}: twin served counts");
+            let wall = nat.wall.expect("native mode fills the wall report");
+            runtime.push_row(
+                label,
+                vec![
+                    wall.achieved_rps / 1e3,
+                    nat.achieved_rps / 1e3,
+                    sim.achieved_rps / 1e3,
+                    nat.achieved_rps / sim.achieved_rps,
+                ],
+            );
+        }
+
         SectionResult {
             notes: vec![
                 format!(
@@ -147,7 +186,7 @@ impl Section for Serving {
                  section)."
                     .to_string(),
             ],
-            tables: vec![throughput, latency, availability, fault_load],
+            tables: vec![throughput, latency, availability, fault_load, runtime],
             series: vec![haft_scaling],
         }
     }

@@ -180,6 +180,7 @@ fn tolerance_to_json(t: Tolerance) -> Json {
     let (kind, v) = match t {
         Tolerance::Rel(f) => ("rel", f),
         Tolerance::Abs(a) => ("abs", a),
+        Tolerance::Info => return Json::Obj(vec![("info".into(), Json::Bool(true))]),
     };
     Json::Obj(vec![(kind.into(), Json::Num(v))])
 }
@@ -189,8 +190,10 @@ fn tolerance_from_json(j: &Json) -> Result<Tolerance, String> {
         Ok(Tolerance::Rel(f))
     } else if let Some(a) = j.get("abs").and_then(Json::as_f64) {
         Ok(Tolerance::Abs(a))
+    } else if j.get("info").is_some() {
+        Ok(Tolerance::Info)
     } else {
-        Err("tolerance must be {\"rel\": f} or {\"abs\": f}".into())
+        Err("tolerance must be {\"rel\": f}, {\"abs\": f}, or {\"info\": true}".into())
     }
 }
 
@@ -430,6 +433,25 @@ mod tests {
         fresh.tables[0].tolerance = Tolerance::Rel(10.0);
         fresh.tables[0].rows[0].values[0] = 3.0;
         assert_eq!(diff(&pinned, &fresh).len(), 1);
+    }
+
+    /// Info-band tables round-trip through JSON and never produce value
+    /// violations — only structural changes (rows, columns) can fail.
+    #[test]
+    fn info_tables_round_trip_and_pass_any_value() {
+        let mut snap = sample();
+        snap.tables[0].tolerance = Tolerance::Info;
+        let parsed = Snapshot::parse(&snap.render()).unwrap();
+        assert_eq!(parsed.tables[0].tolerance, Tolerance::Info);
+
+        let mut fresh = parsed.clone();
+        fresh.tables[0].rows[0].values[0] = 123.456; // wildly off: still fine
+        assert!(diff(&snap, &fresh).is_empty(), "info values must never violate");
+        fresh.tables[0].rows.pop();
+        assert!(
+            diff(&snap, &fresh).iter().any(|v| v.contains("missing")),
+            "structure is still checked on info tables"
+        );
     }
 
     #[test]

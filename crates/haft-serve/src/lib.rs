@@ -51,9 +51,63 @@ use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
 
 pub use arrival::{ArrivalMode, PoissonArrivals};
 pub use latency::LatencyStats;
-pub use report::{FaultReport, ServiceReport, ShardStats};
+pub use report::{FaultReport, ServiceReport, ShardStats, WallReport};
 pub use router::RouterPolicy;
 pub use shard::BatchRunner;
+
+/// How a service experiment executes: the deterministic discrete-event
+/// simulation, or the real-thread runtime in `haft-runtime`.
+///
+/// Both modes take the identical [`ServeConfig`] and return the identical
+/// [`ServiceReport`] schema. `Sim` is the *deterministic twin*: same
+/// configuration ⇒ same report, field for field, which is what every
+/// pinned report table is generated from. `Native` runs N shard actors on
+/// a work-stealing thread pool and additionally fills
+/// [`report::WallReport`] with host wall-clock throughput; its
+/// cycle-priced numbers track the simulation's within a tolerance band
+/// (pinned by `haft-runtime`'s twin validation test) but are not
+/// bit-reproducible, because thread timing changes batch composition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Single-threaded discrete-event simulation (deterministic).
+    #[default]
+    Sim,
+    /// Real threads: shard actors on a work-stealing pool of `workers`
+    /// OS threads (see the `haft-runtime` crate). `workers` is clamped
+    /// to at least 1.
+    Native { workers: usize },
+}
+
+/// Multi-key request grouping: every `every`-th client request is a
+/// multi-get spanning `span` keys.
+///
+/// The operation *stream* is unchanged — a span-`k` request simply claims
+/// the next `k` draws from the YCSB generator — so both serve modes
+/// execute identical work. What the grouping changes is client-visible
+/// semantics in [`ServeMode::Native`]: the runtime splits the group into
+/// per-key sub-operations, routes each to its home shard (cross-shard
+/// under [`RouterPolicy::KeyHash`]), and completes the request as a
+/// *saga* — one latency sample at the join, when the last sub-operation's
+/// batch finishes, and the issuing client stays occupied until then. The
+/// simulation serves the same sub-operations as independent requests
+/// (the join step is a runtime-layer concept); with grouping attached,
+/// the two modes therefore price the same work but sample latency
+/// differently, and only throughput comparisons remain apples-to-apples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SagaLoad {
+    /// Every `every`-th request issued by a client is a saga head
+    /// (`every = 1` makes every request multi-key). Must be ≥ 1.
+    pub every: usize,
+    /// Keys per multi-key request. Must be ≥ 2 to mean anything; spans
+    /// are truncated when the remaining request budget runs out.
+    pub span: usize,
+}
+
+impl Default for SagaLoad {
+    fn default() -> Self {
+        SagaLoad { every: 4, span: 3 }
+    }
+}
 
 /// Fault injection attached to a service run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -99,6 +153,11 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Optional fault injection under load.
     pub faults: Option<FaultLoad>,
+    /// Optional multi-key request grouping (see [`SagaLoad`]). `None`
+    /// (the default) leaves the request stream all-single-key; the
+    /// simulation's behaviour with `None` is bit-identical to builds
+    /// that predate the field.
+    pub sagas: Option<SagaLoad>,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +174,7 @@ impl Default for ServeConfig {
             restart_ns: 5_000_000,
             seed: 0x5EED_5E4E,
             faults: None,
+            sagas: None,
         }
     }
 }
@@ -399,5 +459,6 @@ pub fn run_service(
         batches: sim.batches,
         shards: sim.shards.into_iter().map(|s| s.stats).collect(),
         faults: cfg.faults.map(|_| sim.faults),
+        wall: None,
     }
 }

@@ -82,6 +82,38 @@ impl FaultReport {
     }
 }
 
+/// Host wall-clock accounting, present only on reports produced by the
+/// real-thread runtime (`ServeMode::Native`, the `haft-runtime` crate).
+///
+/// Cycle-priced numbers ([`ServiceReport::achieved_rps`], the latency
+/// distribution) stay the source of truth across both serve modes: they
+/// come from the simulated cost model and are host-independent. Wall
+/// clock is what the runtime *additionally* measures — how fast this
+/// machine actually chewed through the VM work — and is inherently
+/// host- and load-dependent, so it is reported separately and never
+/// pinned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WallReport {
+    /// Worker threads the pool ran.
+    pub workers: usize,
+    /// Host wall-clock time from pool start to the last completion.
+    pub duration_ns: u64,
+    /// Served requests per host wall-clock second.
+    pub achieved_rps: f64,
+}
+
+impl WallReport {
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "wall {:.1}k req/s on {} worker(s) ({:.1} ms)",
+            self.achieved_rps / 1e3,
+            self.workers,
+            self.duration_ns as f64 / 1e6
+        )
+    }
+}
+
 /// Everything measured by one service run ([`crate::run_service`] /
 /// `Experiment::serve`).
 #[derive(Clone, Debug, PartialEq)]
@@ -108,6 +140,9 @@ pub struct ServiceReport {
     pub shards: Vec<ShardStats>,
     /// Present when the serve configuration attached fault injection.
     pub faults: Option<FaultReport>,
+    /// Host wall-clock accounting; present only in `ServeMode::Native`
+    /// (the simulation has no host clock worth reporting).
+    pub wall: Option<WallReport>,
 }
 
 impl ServiceReport {
@@ -147,6 +182,10 @@ impl ServiceReport {
         if let Some(f) = &self.faults {
             s.push_str("\n  faults: ");
             s.push_str(&f.summary());
+        }
+        if let Some(w) = &self.wall {
+            s.push_str("\n  ");
+            s.push_str(&w.summary());
         }
         s
     }

@@ -215,6 +215,38 @@ fn service_reports_are_engine_independent() {
     }
 }
 
+/// The simulation is pinned orthogonally to the native mode (ISSUE 7):
+/// `ServeMode::Sim` produces the identical report whether invoked via
+/// `serve` or `serve_in(Sim)`, before or after native runs on the same
+/// experiment at any worker count, under either engine — and the
+/// simulation ignores saga grouping entirely (the join is a
+/// runtime-layer concept), so attaching `SagaLoad` changes nothing.
+#[test]
+fn sim_reports_are_unaffected_by_the_native_mode() {
+    use haft_serve::{SagaLoad, ServeMode};
+    let w = kv_shard(KvSync::Atomics);
+    let cfg = ServeConfig { faults: Some(FaultLoad::default()), ..base_cfg(200, 2) };
+    let exp = Experiment::workload(&w).harden(HardenConfig::haft());
+    let pinned = exp.serve(&cfg);
+    assert_eq!(pinned, exp.serve_in(ServeMode::Sim, &cfg), "serve is serve_in(Sim)");
+    for workers in [1usize, 2, 4] {
+        let _ = exp.serve_in(ServeMode::Native { workers }, &cfg);
+        assert_eq!(
+            pinned,
+            exp.serve_in(ServeMode::Sim, &cfg),
+            "Sim report drifted after a {workers}-worker native run"
+        );
+    }
+    let interp = Experiment::workload(&w)
+        .harden(HardenConfig::haft())
+        .engine(Engine::Interp)
+        .serve_in(ServeMode::Sim, &cfg);
+    assert_eq!(pinned, interp, "Sim must stay engine-independent");
+    let with_sagas =
+        exp.serve_in(ServeMode::Sim, &ServeConfig { sagas: Some(SagaLoad::default()), ..cfg });
+    assert_eq!(pinned, with_sagas, "the simulation must not read the saga field");
+}
+
 /// Degenerate configurations panic instead of silently coercing.
 #[test]
 #[should_panic(expected = "at least one shard")]

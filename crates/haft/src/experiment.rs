@@ -23,7 +23,7 @@
 use haft_faults::{run_campaign_from, CampaignConfig, CampaignReport};
 use haft_ir::module::Module;
 use haft_passes::{Backend, HardenConfig, PassManager, PassStats};
-use haft_serve::{ServeConfig, ServiceReport};
+use haft_serve::{ServeConfig, ServeMode, ServiceReport};
 use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
 use haft_workloads::Workload;
 
@@ -230,11 +230,32 @@ impl<'a> Experiment<'a> {
     /// Panics if the module lacks the shard request-buffer globals or
     /// the configuration is degenerate (see [`haft_serve::run_service`]).
     pub fn serve(&self, cfg: &ServeConfig) -> ServiceReport {
-        self.debug_assert_no_fault("serve");
+        self.serve_in(ServeMode::Sim, cfg)
+    }
+
+    /// [`Experiment::serve`] with an explicit execution mode: the
+    /// deterministic discrete-event simulation ([`ServeMode::Sim`], what
+    /// `serve` runs and every pinned table is generated from), or real
+    /// threads ([`ServeMode::Native`]) — N shard actors on a
+    /// work-stealing pool of `workers` OS threads via the
+    /// `haft-runtime` crate, which additionally fills
+    /// [`haft_serve::WallReport`] with host wall-clock throughput.
+    ///
+    /// Both modes harden through the same per-experiment cache, take the
+    /// identical configuration, and return the identical report schema;
+    /// `Sim` is bit-reproducible while `Native` tracks it within the
+    /// tolerance band pinned by `haft-runtime`'s twin-validation test.
+    pub fn serve_in(&self, mode: ServeMode, cfg: &ServeConfig) -> ServiceReport {
+        self.debug_assert_no_fault("serve_in");
         let (module, _stats) = self.built();
         let mut vm = self.vm.clone();
         vm.fault = None;
-        haft_serve::run_service(module, self.spec, vm, self.cfg.label(), cfg)
+        match mode {
+            ServeMode::Sim => haft_serve::run_service(module, self.spec, vm, self.cfg.label(), cfg),
+            ServeMode::Native { workers } => {
+                haft_runtime::run_native(module, self.spec, vm, self.cfg.label(), cfg, workers)
+            }
+        }
     }
 
     /// Runs the native baseline plus every configuration in `configs`

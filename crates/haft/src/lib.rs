@@ -23,6 +23,7 @@
 //! | [`model`] | the PRISM availability model (Figure 5/10) |
 //! | [`apps`] | memcached, LogCabin, Apache, LevelDB, SQLite case studies |
 //! | [`serve`] | the YCSB client cluster: sharded serving, tail latency, availability |
+//! | [`runtime`] | the multi-core deployment: shard actors on a work-stealing thread pool |
 //!
 //! # Examples
 //!
@@ -114,6 +115,7 @@ pub use haft_htm as htm;
 pub use haft_ir as ir;
 pub use haft_model as model;
 pub use haft_passes as passes;
+pub use haft_runtime as runtime;
 pub use haft_serve as serve;
 pub use haft_vm as vm;
 pub use haft_workloads as workloads;
@@ -135,8 +137,8 @@ pub mod prelude {
         TxConfig,
     };
     pub use haft_serve::{
-        ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, ServeConfig,
-        ServiceReport, ShardStats,
+        ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, SagaLoad, ServeConfig,
+        ServeMode, ServiceReport, ShardStats, WallReport,
     };
     pub use haft_vm::{Engine, FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
