@@ -1,0 +1,68 @@
+//! Tracing overhead: host wall-clock cost of the observability layer on
+//! the `vm_run_haft` workload.
+//!
+//! Two claims are pinned. **Off is free**: `Vm::run` *is* the
+//! instrumented path with the hooks `None`-checked — there is no
+//! separate traced binary, so the tracing-off overhead is 0% by
+//! construction, and this bench proves the stronger differential fact
+//! that the traced run returns a bit-identical `RunResult`. **On is
+//! cheap**: with a `TraceBuf` attached, the wall-clock ratio over the
+//! untraced run stays under the CI bound (min-over-rounds estimator,
+//! the only one that survives shared-runner noise).
+
+use std::time::Instant;
+
+use haft_bench::{experiment, recommended_threshold};
+use haft_passes::HardenConfig;
+use haft_trace::TraceBuf;
+use haft_vm::{RunResult, Vm};
+
+/// Traced-over-untraced wall-clock bound asserted in full mode. Tracing
+/// a HAFT run appends a few spans per transaction to a Vec — well under
+/// this, but shared runners are noisy.
+const MAX_TRACED_RATIO: f64 = 1.10;
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let rounds = if fast { 2 } else { 9 };
+    let names: &[&str] = if fast { &["linearreg"] } else { &["linearreg", "histogram"] };
+    let threads = 2;
+
+    println!("\n=== Tracing overhead on vm_run_haft (wall-clock, {threads} threads) ===");
+    haft_bench::header(&["plain ms", "traced ms", "ratio", "events"]);
+    for name in names {
+        let w = haft_workloads::workload_by_name(name, haft_workloads::Scale::Small).unwrap();
+        let exp = experiment(&w, threads, recommended_threshold(name)).harden(HardenConfig::haft());
+        let (module, _) = exp.build();
+        let vm = haft_bench::vm_config(threads, recommended_threshold(name));
+
+        let (mut best_plain, mut best_traced) = (f64::INFINITY, f64::INFINITY);
+        let mut n_events = 0usize;
+        let mut golden: Option<RunResult> = None;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let plain = Vm::run(&module, vm.clone(), w.run_spec());
+            best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+
+            let mut buf = TraceBuf::new();
+            let t1 = Instant::now();
+            let traced = Vm::run_traced(&module, vm.clone(), w.run_spec(), &mut buf);
+            best_traced = best_traced.min(t1.elapsed().as_secs_f64());
+
+            assert_eq!(plain, traced, "{name}: tracing changed the result");
+            let g = golden.get_or_insert(plain);
+            assert_eq!(*g, traced, "{name}: run is not deterministic");
+            n_events = buf.events.len();
+        }
+
+        let ratio = best_traced / best_plain;
+        haft_bench::row(name, &[best_plain * 1e3, best_traced * 1e3, ratio, n_events as f64]);
+        if !fast {
+            assert!(
+                ratio < MAX_TRACED_RATIO,
+                "{name}: tracing-on overhead {ratio:.3}x exceeds {MAX_TRACED_RATIO}x"
+            );
+        }
+    }
+    println!("(min over {rounds} interleaved rounds; tracing off shares the untraced binary path)");
+}

@@ -23,6 +23,32 @@ pub enum AbortCause {
 }
 
 impl AbortCause {
+    /// Every cause, in declaration order — the stable metric schema:
+    /// `htm.aborts.{metric_name}` exists for each, zero or not.
+    pub const ALL: [AbortCause; 7] = [
+        AbortCause::Conflict,
+        AbortCause::Capacity,
+        AbortCause::IlrDetected,
+        AbortCause::Explicit,
+        AbortCause::Unfriendly,
+        AbortCause::Timer,
+        AbortCause::Spontaneous,
+    ];
+
+    /// Stable lowercase name used as the `htm.aborts.{reason}` metric
+    /// suffix (and the `Display` rendering).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            AbortCause::Conflict => "conflict",
+            AbortCause::Capacity => "capacity",
+            AbortCause::IlrDetected => "ilr-detected",
+            AbortCause::Explicit => "explicit",
+            AbortCause::Unfriendly => "unfriendly",
+            AbortCause::Timer => "timer",
+            AbortCause::Spontaneous => "spontaneous",
+        }
+    }
+
     /// Maps the cause onto the paper's three reporting buckets
     /// (Table 3: Capacity / Conflict / Other).
     ///
@@ -51,16 +77,7 @@ pub enum Table3Bucket {
 
 impl std::fmt::Display for AbortCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            AbortCause::Conflict => "conflict",
-            AbortCause::Capacity => "capacity",
-            AbortCause::IlrDetected => "ilr-detected",
-            AbortCause::Explicit => "explicit",
-            AbortCause::Unfriendly => "unfriendly",
-            AbortCause::Timer => "timer",
-            AbortCause::Spontaneous => "spontaneous",
-        };
-        f.write_str(s)
+        f.write_str(self.metric_name())
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use haft_trace::MetricsSnapshot;
+
 use crate::abort::{AbortCause, Table3Bucket};
 
 /// Aggregate transaction statistics for one run.
@@ -70,6 +72,21 @@ impl HtmStats {
     /// Records one abort.
     pub fn record_abort(&mut self, cause: AbortCause) {
         *self.aborts.entry(cause).or_insert(0) += 1;
+    }
+
+    /// Publishes the counters into the unified registry under the stable
+    /// `htm.*` names. Every `htm.aborts.{cause}` key is present (zero or
+    /// not) so the schema never varies with the run.
+    pub fn export_metrics(&self, m: &mut MetricsSnapshot) {
+        m.set("htm.started", self.started as f64);
+        m.set("htm.commits", self.commits as f64);
+        m.set("htm.fallbacks", self.fallbacks as f64);
+        m.set("htm.tx_cycles", self.tx_cycles as f64);
+        m.set("htm.total_cycles", self.total_cycles as f64);
+        for cause in AbortCause::ALL {
+            let n = self.aborts.get(&cause).copied().unwrap_or(0);
+            m.set(format!("htm.aborts.{}", cause.metric_name()), n as f64);
+        }
     }
 
     /// Merges another stats block into this one (per-thread → aggregate).

@@ -77,8 +77,21 @@ impl PassStats {
     }
 
     /// Reads a pass-published counter.
+    #[deprecated(note = "use `PassStats::metrics` (the unified registry's `pass.*` names)")]
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    /// Publishes the pass-published counters and the pipeline's net
+    /// instruction delta into the unified registry: each counter `x`
+    /// becomes `pass.x`, plus `pass.added.total`.
+    pub fn metrics(&self) -> haft_trace::MetricsSnapshot {
+        let mut m = haft_trace::MetricsSnapshot::new();
+        for (name, n) in &self.counters {
+            m.set(format!("pass.{name}"), *n as f64);
+        }
+        m.set("pass.added.total", self.total_added() as f64);
+        m
     }
 
     /// Names of the executed passes, in order.
@@ -360,9 +373,17 @@ mod tests {
     #[test]
     fn passes_publish_counters() {
         let (_, stats) = PassManager::from_config(&HardenConfig::haft()).run_on(&module());
-        assert_eq!(stats.counter("ilr.functions"), Some(1));
-        assert_eq!(stats.counter("tx.functions"), Some(1));
-        assert_eq!(stats.counter("nope"), None);
+        let m = stats.metrics();
+        assert_eq!(m.get("pass.ilr.functions"), Some(1.0));
+        assert_eq!(m.get("pass.tx.functions"), Some(1.0));
+        assert_eq!(m.get("pass.nope"), None);
+        assert_eq!(m.get("pass.added.total"), Some(stats.total_added() as f64));
+        // The deprecated accessor stays answer-compatible with the registry.
+        #[allow(deprecated)]
+        {
+            assert_eq!(stats.counter("ilr.functions"), Some(1));
+            assert_eq!(stats.counter("nope"), None);
+        }
     }
 
     #[test]

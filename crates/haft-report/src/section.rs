@@ -10,12 +10,14 @@ use crate::render::{Series, Table};
 
 mod faults;
 mod overheads;
+mod profile;
 mod serving;
 mod tradeoff;
 mod txsweep;
 
 pub use faults::FaultHistograms;
 pub use overheads::Overheads;
+pub use profile::Profile;
 pub use serving::Serving;
 pub use tradeoff::HaftVsElzar;
 pub use txsweep::TxSweep;
@@ -60,6 +62,7 @@ pub fn all_sections() -> Vec<Box<dyn Section>> {
         Box::new(TxSweep),
         Box::new(Serving),
         Box::new(HaftVsElzar),
+        Box::new(Profile),
     ]
 }
 
@@ -73,7 +76,7 @@ mod tests {
         let names: Vec<&str> = sections.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["overheads", "fault-histograms", "tx-sweep", "serving", "haft-vs-elzar"]
+            ["overheads", "fault-histograms", "tx-sweep", "serving", "haft-vs-elzar", "profile"]
         );
         for s in &sections {
             assert!(!s.title().is_empty() && !s.paper_ref().is_empty(), "{}", s.name());

@@ -15,11 +15,13 @@ use haft_faults::{classify_requests, RequestCounts, RequestOutcome};
 use haft_ir::module::Module;
 use haft_ir::rng::Prng;
 use haft_serve::report::{FaultReport, ShardStats};
-use haft_serve::{BatchRunner, ServeConfig};
+use haft_serve::{BatchRunner, ServeConfig, TRACE_PID_SERVE, TRACE_PID_VM_BASE};
+use haft_trace::{TraceBuf, TraceEvent};
 use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
 use crate::traffic::Req;
 
@@ -58,6 +60,14 @@ pub struct ShardActor<'a> {
     pub faults: FaultReport,
     pub clean_service_sum: f64,
     pub clean_batches: u64,
+    /// Saga joins whose latency sample was withheld because a sub-batch
+    /// failed (always counted, traced or not).
+    pub suppressed_joins: u64,
+    idx: usize,
+    /// Event buffer when tracing: virtual-ns timestamps, with the host
+    /// wall clock carried as an argument (the dual-clock rule).
+    pub trace: Option<TraceBuf>,
+    epoch: Option<Instant>,
 }
 
 impl<'a> ShardActor<'a> {
@@ -94,7 +104,19 @@ impl<'a> ShardActor<'a> {
             faults: FaultReport::default(),
             clean_service_sum: 0.0,
             clean_batches: 0,
+            suppressed_joins: 0,
+            idx,
+            trace: None,
+            epoch: None,
         }
+    }
+
+    /// Turns on event collection for this shard. `epoch` is the pool's
+    /// wall-clock zero, so every virtual-time event can carry the host
+    /// time at which it was recorded.
+    pub fn enable_trace(&mut self, epoch: Instant) {
+        self.trace = Some(TraceBuf::new());
+        self.epoch = Some(epoch);
     }
 
     fn cycles_to_ns(&self, cycles: u64) -> u64 {
@@ -143,7 +165,11 @@ impl<'a> ShardActor<'a> {
 
         let plan = self.draw_fault(ops.len());
         let injected = plan.is_some();
-        let run = self.runner.run_batch(&ops, plan);
+        let mut vm_buf = self.trace.as_ref().map(|_| TraceBuf::new());
+        let run = match vm_buf.as_mut() {
+            Some(buf) => self.runner.run_batch_traced(&ops, plan, buf),
+            None => self.runner.run_batch(&ops, plan),
+        };
         let service_ns = self.cycles_to_ns(run.phases.service_cycles()) + self.dispatch_ns;
         let golden: Vec<u64> = ops.iter().map(|&o| golden_reply(o)).collect();
         let outcomes = classify_requests(&run, &golden);
@@ -154,6 +180,31 @@ impl<'a> ShardActor<'a> {
 
         let crashed = run.outcome != RunOutcome::Completed;
         let completion = start + service_ns + if crashed { self.restart_ns } else { 0 };
+
+        if let Some(mut buf) = vm_buf {
+            let wall_ns = self.epoch.expect("trace implies epoch").elapsed().as_nanos() as u64;
+            let scale = 1.0 / self.clock_ghz;
+            let tr = self.trace.as_mut().expect("vm buffer implies trace");
+            tr.push(
+                TraceEvent::span("serve", "batch.service", start, service_ns)
+                    .lane(TRACE_PID_SERVE, self.idx as u32)
+                    .arg("requests", ops.len())
+                    .arg("wall_ns", wall_ns),
+            );
+            if crashed {
+                tr.push(
+                    TraceEvent::span("serve", "shard.restart", start + service_ns, self.restart_ns)
+                        .lane(TRACE_PID_SERVE, self.idx as u32),
+                );
+            }
+            // Splice the batch's VM/HTM events (raw cycles) onto the
+            // virtual-ns timeline, one lane per shard.
+            for mut ev in buf.take() {
+                ev.rescale(scale, start);
+                ev.pid = TRACE_PID_VM_BASE + self.idx as u32;
+                tr.push(ev);
+            }
+        }
 
         let mut freed_vns = Vec::with_capacity(batch.len());
         for (req, &o) in batch.iter().zip(&outcomes) {
@@ -170,8 +221,19 @@ impl<'a> ShardActor<'a> {
                         saga.failed.store(true, Ordering::Release);
                     }
                     if let Some(join_vns) = saga.complete_one(completion) {
-                        if !saga.failed.load(Ordering::Acquire) {
+                        let suppressed = saga.failed.load(Ordering::Acquire);
+                        if suppressed {
+                            self.suppressed_joins += 1;
+                        } else {
                             self.samples.push(join_vns - saga.arrival_vns);
+                        }
+                        if let Some(tr) = self.trace.as_mut() {
+                            let name = if suppressed { "join.suppressed" } else { "join" };
+                            tr.push(
+                                TraceEvent::instant("saga", name, join_vns)
+                                    .lane(TRACE_PID_SERVE, self.idx as u32)
+                                    .arg("latency_vns", join_vns - saga.arrival_vns),
+                            );
                         }
                         freed_vns.push(join_vns);
                     }
@@ -248,5 +310,43 @@ mod tests {
         // All requests in one batch complete together.
         assert!(out.freed_vns.iter().all(|&t| t == a.vclock_ns));
         assert_eq!(a.samples[0], a.vclock_ns - 100);
+    }
+
+    #[test]
+    fn failed_saga_joins_are_counted_not_silently_dropped() {
+        use crate::traffic::Saga;
+        use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+        use std::sync::Arc;
+
+        let w = kv_shard(KvSync::Atomics);
+        let cfg = ServeConfig::default();
+        let mut a = ShardActor::new(&w.module, w.run_spec(), VmConfig::default(), &cfg, 0, 1);
+        let mut gen = YcsbGen::new(4, 100);
+        let ops = gen.generate(WorkloadMix::B, 2);
+
+        // Saga 1: a sub-batch on another shard already failed — the join
+        // here must free the client but withhold the latency sample and
+        // count the suppression.
+        let failed = Arc::new(Saga {
+            remaining: AtomicUsize::new(1),
+            latest_vns: AtomicU64::new(0),
+            failed: AtomicBool::new(true),
+            arrival_vns: 10,
+        });
+        // Saga 2: clean — joins normally and samples once.
+        let clean = Arc::new(Saga {
+            remaining: AtomicUsize::new(1),
+            latest_vns: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            arrival_vns: 10,
+        });
+        let batch = vec![
+            Req { op: ops[0], arrival_vns: 10, saga: Some(failed) },
+            Req { op: ops[1], arrival_vns: 10, saga: Some(clean) },
+        ];
+        let out = a.run_one_batch(batch);
+        assert_eq!(a.suppressed_joins, 1, "the failed join must be counted");
+        assert_eq!(a.samples.len(), 1, "only the clean join samples latency");
+        assert_eq!(out.freed_vns.len(), 2, "both joins free their clients");
     }
 }

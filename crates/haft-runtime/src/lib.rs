@@ -32,6 +32,7 @@ use haft_apps::{YcsbGen, KV_KEYSPACE, SHARD_CAPACITY};
 use haft_ir::module::Module;
 use haft_serve::report::{FaultReport, WallReport};
 use haft_serve::{ArrivalMode, BatchRunner, LatencyStats, ServeConfig, ServiceReport};
+use haft_trace::TraceBuf;
 use haft_vm::{RunOutcome, RunSpec, VmConfig};
 
 pub use actor::ShardActor;
@@ -89,6 +90,35 @@ pub fn run_native_opts(
     cfg: &ServeConfig,
     opts: NativeOpts,
 ) -> ServiceReport {
+    run_native_impl(module, spec, vm, label, cfg, opts, None)
+}
+
+/// [`run_native_opts`] with trace collection: scheduling events (steals,
+/// actor drains, saga splits) on the host wall clock, batch/saga/VM/HTM
+/// events on the virtual clock — each carrying the other clock as an
+/// argument. Events land in `buf`; the report itself is assembled exactly
+/// as in an untraced run.
+pub fn run_native_traced(
+    module: &Module,
+    spec: RunSpec<'_>,
+    vm: VmConfig,
+    label: impl Into<String>,
+    cfg: &ServeConfig,
+    opts: NativeOpts,
+    buf: &mut TraceBuf,
+) -> ServiceReport {
+    run_native_impl(module, spec, vm, label, cfg, opts, Some(buf))
+}
+
+fn run_native_impl(
+    module: &Module,
+    spec: RunSpec<'_>,
+    vm: VmConfig,
+    label: impl Into<String>,
+    cfg: &ServeConfig,
+    opts: NativeOpts,
+    trace: Option<&mut TraceBuf>,
+) -> ServiceReport {
     assert!(cfg.requests > 0, "a service run needs at least one request");
     assert!(cfg.shards > 0, "a service run needs at least one shard");
     assert!(spec.worker.is_some() && spec.fini.is_some(), "shard spec needs worker and fini");
@@ -111,11 +141,21 @@ pub fn run_native_opts(
         1
     };
 
+    let epoch = trace.as_ref().map(|_| Instant::now());
     let slots: Vec<ActorSlot> = (0..cfg.shards)
-        .map(|i| ActorSlot::new(ShardActor::new(module, spec, vm.clone(), cfg, i, writes_per_req)))
+        .map(|i| {
+            let mut actor = ShardActor::new(module, spec, vm.clone(), cfg, i, writes_per_req);
+            if let Some(e) = epoch {
+                actor.enable_trace(e);
+            }
+            ActorSlot::new(actor)
+        })
         .collect();
-    let traffic = TrafficSource::new(cfg.seed, KV_KEYSPACE, cfg.mix, total, cfg.sagas);
-    let pool = Pool::new(slots, cfg, traffic, workers, opts.shake_seed);
+    let mut traffic = TrafficSource::new(cfg.seed, KV_KEYSPACE, cfg.mix, total, cfg.sagas);
+    if epoch.is_some() {
+        traffic.enable_trace();
+    }
+    let mut pool = Pool::new(slots, cfg, traffic, workers, opts.shake_seed, epoch);
 
     // Seed the arrival process (virtual timestamps; matches the DES).
     match cfg.arrival {
@@ -146,7 +186,18 @@ pub fn run_native_opts(
     pool.run(workers);
     let wall_ns = (t0.elapsed().as_nanos() as u64).max(1);
 
-    assemble_report(pool.into_actors(), label.into(), cfg, workers, wall_ns)
+    let steals = pool.steals();
+    let pool_events = if trace.is_some() { pool.take_trace() } else { Vec::new() };
+    let mut actors = pool.into_actors();
+    if let Some(buf) = trace {
+        buf.events.extend(pool_events);
+        for a in &mut actors {
+            if let Some(mut t) = a.trace.take() {
+                buf.events.append(&mut t.events);
+            }
+        }
+    }
+    assemble_report(actors, label.into(), cfg, workers, wall_ns, steals)
 }
 
 /// Merges per-shard accounting into the shared [`ServiceReport`] schema.
@@ -156,6 +207,7 @@ fn assemble_report(
     cfg: &ServeConfig,
     workers: usize,
     wall_ns: u64,
+    steals: u64,
 ) -> ServiceReport {
     let mut counts = haft_faults::RequestCounts::default();
     let mut samples = Vec::new();
@@ -165,6 +217,7 @@ fn assemble_report(
     let mut clean_batches = 0u64;
     let mut batches = 0u64;
     let mut duration_ns = 0u64;
+    let mut suppressed_joins = 0u64;
     for a in actors {
         counts.merge(&a.counts);
         samples.extend(a.samples);
@@ -178,6 +231,7 @@ fn assemble_report(
             faults.max_corrected_service_ns.max(a.faults.max_corrected_service_ns);
         clean_sum += a.clean_service_sum;
         clean_batches += a.clean_batches;
+        suppressed_joins += a.suppressed_joins;
     }
     assert_eq!(
         counts.total(),
@@ -202,10 +256,12 @@ fn assemble_report(
         batches,
         shards,
         faults: cfg.faults.map(|_| faults),
+        suppressed_joins,
         wall: Some(WallReport {
             workers,
             duration_ns: wall_ns,
             achieved_rps: served as f64 * 1e9 / wall_ns as f64,
+            steals,
         }),
     }
 }

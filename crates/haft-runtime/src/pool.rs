@@ -27,9 +27,10 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use haft_serve::{ArrivalMode, RouterPolicy, ServeConfig};
+use haft_serve::{ArrivalMode, RouterPolicy, ServeConfig, TRACE_PID_POOL};
+use haft_trace::{Ring, TraceEvent, TraceSink};
 
 use crate::actor::ShardActor;
 use crate::traffic::{Req, TrafficSource};
@@ -37,6 +38,10 @@ use crate::traffic::{Req, TrafficSource};
 const IDLE: u8 = 0;
 const QUEUED: u8 = 1;
 const RUNNING: u8 = 2;
+
+/// Bounded per-worker trace ring: recent scheduling history wins over
+/// completeness, so a hot worker can never grow the trace without bound.
+const WORKER_RING_CAP: usize = 1 << 14;
 
 /// One shard actor plus its scheduling state and inbox.
 pub struct ActorSlot<'a> {
@@ -104,6 +109,15 @@ pub struct Pool<'a> {
     park: Mutex<()>,
     cond: Condvar,
     shake_seed: Option<u64>,
+    /// Actor ids taken from a victim's deque — always counted, so
+    /// `pool.steals` costs one relaxed add whether or not tracing is on.
+    steals: AtomicU64,
+    /// Wall-clock zero for trace timestamps; `Some` turns worker event
+    /// collection on.
+    trace_epoch: Option<Instant>,
+    /// Worker rings drain here when their worker exits (never on the hot
+    /// path, so workers share no trace state while running).
+    collected: Mutex<Vec<TraceEvent>>,
 }
 
 impl<'a> Pool<'a> {
@@ -113,6 +127,7 @@ impl<'a> Pool<'a> {
         traffic: TrafficSource,
         workers: usize,
         shake_seed: Option<u64>,
+        trace_epoch: Option<Instant>,
     ) -> Self {
         assert!(!slots.is_empty() && workers >= 1);
         Pool {
@@ -132,7 +147,26 @@ impl<'a> Pool<'a> {
             park: Mutex::new(()),
             cond: Condvar::new(),
             shake_seed,
+            steals: AtomicU64::new(0),
+            trace_epoch,
+            collected: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Actor ids stolen from victim deques over the pool's lifetime.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Acquire)
+    }
+
+    /// Drains every scheduling event collected so far: worker rings
+    /// (merged when each worker exited) plus the traffic source's saga
+    /// split events. Call after [`Self::run`] returns.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events = std::mem::take(&mut *self.collected.lock().unwrap());
+        if let Some(buf) = self.traffic.lock().unwrap().trace.as_mut() {
+            events.append(&mut buf.events);
+        }
+        events
     }
 
     /// True once the traffic budget is fully drawn.
@@ -174,7 +208,7 @@ impl<'a> Pool<'a> {
     /// Finds the next runnable shard for worker `w`: own deque front,
     /// then the injector, then steal half of a victim's deque from the
     /// back.
-    fn find_work(&self, w: usize) -> Option<usize> {
+    fn find_work(&self, w: usize, ring: &mut Option<Ring>) -> Option<usize> {
         if let Some(s) = self.deques[w].lock().unwrap().pop_front() {
             return Some(s);
         }
@@ -196,6 +230,16 @@ impl<'a> Pool<'a> {
                 got
             };
             if let Some(first) = stolen.pop() {
+                let n_stolen = (stolen.len() + 1) as u64;
+                self.steals.fetch_add(n_stolen, Ordering::Relaxed);
+                if let (Some(r), Some(epoch)) = (ring.as_mut(), self.trace_epoch) {
+                    r.push(
+                        TraceEvent::instant("pool", "steal", epoch.elapsed().as_nanos() as u64)
+                            .lane(TRACE_PID_POOL, w as u32)
+                            .arg("victim", victim)
+                            .arg("actors", n_stolen),
+                    );
+                }
                 let mut own = self.deques[w].lock().unwrap();
                 own.extend(stolen);
                 return Some(first);
@@ -207,7 +251,15 @@ impl<'a> Pool<'a> {
     /// Drains one runnable shard: `QUEUED → RUNNING`, run batches until
     /// the inbox is (momentarily) empty, `RUNNING → IDLE`, then the
     /// lost-wakeup recheck.
-    fn service(&self, shard: usize, w: usize, shaker: &mut Option<Shaker>) {
+    fn service(
+        &self,
+        shard: usize,
+        w: usize,
+        shaker: &mut Option<Shaker>,
+        ring: &mut Option<Ring>,
+    ) {
+        let t_start = self.trace_epoch.map(|e| e.elapsed().as_nanos() as u64);
+        let mut drained = 0u64;
         let slot = &self.slots[shard];
         slot.state
             .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
@@ -227,6 +279,7 @@ impl<'a> Pool<'a> {
                 break;
             }
             let out = actor.run_one_batch(batch);
+            drained += 1;
             if let Some(think_ns) = self.closed_think_ns {
                 for &t in &out.freed_vns {
                     self.issue_group_at(t + think_ns, Some(w));
@@ -241,7 +294,20 @@ impl<'a> Pool<'a> {
             }
         }
 
+        let vclock_vns = actor.vclock_ns;
         drop(actor);
+        if let (Some(r), Some(t0)) = (ring.as_mut(), t_start) {
+            // The RUNNING window on the wall clock, with the actor's
+            // virtual clock carried as an argument (dual-clock rule).
+            let now = self.trace_epoch.expect("t_start implies epoch").elapsed().as_nanos() as u64;
+            r.push(
+                TraceEvent::span("pool", "actor.run", t0, now.saturating_sub(t0))
+                    .lane(TRACE_PID_POOL, w as u32)
+                    .arg("shard", shard)
+                    .arg("batches", drained)
+                    .arg("vclock_vns", vclock_vns),
+            );
+        }
         slot.state.store(IDLE, Ordering::Release);
         // Lost-wakeup guard: a producer may have pushed between our empty
         // form_batch and the IDLE store, and lost its CAS against our
@@ -268,14 +334,27 @@ impl<'a> Pool<'a> {
 
     fn worker_loop(&self, w: usize) {
         let mut shaker = self.shake_seed.map(|s| Shaker::new(s ^ (w as u64).wrapping_mul(0xA5)));
+        let mut ring = self.trace_epoch.map(|_| Ring::new(WORKER_RING_CAP));
         while !self.done.load(Ordering::Acquire) {
             if let Some(sh) = shaker.as_mut() {
                 sh.poke();
             }
-            match self.find_work(w) {
-                Some(shard) => self.service(shard, w, &mut shaker),
+            match self.find_work(w, &mut ring) {
+                Some(shard) => self.service(shard, w, &mut shaker, &mut ring),
                 None => self.park(),
             }
+        }
+        if let Some(r) = ring {
+            let (mut events, dropped) = r.into_events();
+            if dropped > 0 {
+                let now = self.trace_epoch.unwrap().elapsed().as_nanos() as u64;
+                events.push(
+                    TraceEvent::instant("pool", "ring.dropped", now)
+                        .lane(TRACE_PID_POOL, w as u32)
+                        .arg("dropped", dropped),
+                );
+            }
+            self.collected.lock().unwrap().extend(events);
         }
     }
 

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use haft_apps::{Op, WorkloadMix, YcsbGen};
 use haft_serve::SagaLoad;
+use haft_trace::{TraceBuf, TraceEvent};
 
 /// One routed sub-operation travelling to a shard's inbox.
 #[derive(Clone, Debug)]
@@ -73,6 +74,9 @@ pub struct TrafficSource {
     /// Client request groups issued (a saga counts once).
     groups: usize,
     total: usize,
+    /// Saga-split events when tracing (virtual-ns timestamps); the
+    /// traffic mutex already serializes access, so no extra locking.
+    pub trace: Option<TraceBuf>,
 }
 
 impl TrafficSource {
@@ -87,7 +91,20 @@ impl TrafficSource {
             assert!(s.every >= 1, "SagaLoad::every must be >= 1");
             assert!(s.span >= 2, "SagaLoad::span must be >= 2 to be multi-key");
         }
-        TrafficSource { gen: YcsbGen::new(seed, keyspace), mix, sagas, issued: 0, groups: 0, total }
+        TrafficSource {
+            gen: YcsbGen::new(seed, keyspace),
+            mix,
+            sagas,
+            issued: 0,
+            groups: 0,
+            total,
+            trace: None,
+        }
+    }
+
+    /// Turns on saga-split event collection.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceBuf::new());
     }
 
     /// Operations drawn so far.
@@ -111,13 +128,18 @@ impl TrafficSource {
             return Vec::new();
         }
         let span = match self.sagas {
-            Some(s) if (self.groups + 1).is_multiple_of(s.every) => s.span.min(self.total - self.issued),
+            Some(s) if (self.groups + 1).is_multiple_of(s.every) => {
+                s.span.min(self.total - self.issued)
+            }
             _ => 1,
         };
         self.groups += 1;
         self.issued += span;
         let ops = self.gen.generate(self.mix, span);
         if span >= 2 {
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(TraceEvent::instant("saga", "split", at_vns).arg("span", span));
+            }
             let saga = Arc::new(Saga {
                 remaining: AtomicUsize::new(span),
                 latest_vns: AtomicU64::new(0),

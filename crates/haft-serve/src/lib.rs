@@ -47,6 +47,7 @@ use haft_apps::{golden_reply, Op, WorkloadMix, YcsbGen, KV_KEYSPACE, SHARD_CAPAC
 use haft_faults::{classify_requests, RequestCounts, RequestOutcome};
 use haft_ir::module::Module;
 use haft_ir::rng::Prng;
+use haft_trace::{TraceBuf, TraceEvent};
 use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
 
 pub use arrival::{ArrivalMode, PoissonArrivals};
@@ -221,7 +222,18 @@ struct Sim<'m, 'c> {
     clean_batches: u64,
     batches: u64,
     duration_ns: u64,
+    /// Event buffer when tracing; timestamps are virtual nanoseconds.
+    trace: Option<TraceBuf>,
 }
+
+/// Trace lane (Chrome `pid`) for service-layer events; shards are `tid`s.
+pub const TRACE_PID_SERVE: u32 = 1;
+/// Trace lane for pool/actor scheduling events (native runtime only).
+pub const TRACE_PID_POOL: u32 = 2;
+/// Per-shard VM lanes start here: shard `s`'s VM events carry
+/// `pid = TRACE_PID_VM_BASE + s` so concurrent batches never overlap on
+/// one track.
+pub const TRACE_PID_VM_BASE: u32 = 10;
 
 impl Sim<'_, '_> {
     fn cycles_to_ns(&self, cycles: u64) -> u64 {
@@ -267,7 +279,11 @@ impl Sim<'_, '_> {
 
         let plan = self.draw_fault(batch_ops.len());
         let injected = plan.is_some();
-        let run = self.runner.run_batch(&batch_ops, plan);
+        let mut vm_buf = self.trace.as_ref().map(|_| TraceBuf::new());
+        let run = match vm_buf.as_mut() {
+            Some(buf) => self.runner.run_batch_traced(&batch_ops, plan, buf),
+            None => self.runner.run_batch(&batch_ops, plan),
+        };
         let service_ns = self.cycles_to_ns(run.phases.service_cycles()) + self.cfg.dispatch_ns;
         let golden: Vec<u64> = batch_ops.iter().map(|&o| golden_reply(o)).collect();
         let outcomes = classify_requests(&run, &golden);
@@ -282,6 +298,34 @@ impl Sim<'_, '_> {
             self.counts.record(o);
             if o != RequestOutcome::Failed {
                 self.samples.push(completion - self.arrivals_ns[seq]);
+            }
+        }
+
+        if let Some(tr) = self.trace.as_mut() {
+            let scale = 1.0 / self.cfg.clock_ghz;
+            tr.push(
+                TraceEvent::span("serve", "batch.service", now_ns, service_ns)
+                    .lane(TRACE_PID_SERVE, s as u32)
+                    .arg("requests", seqs.len())
+                    .arg("shard", s),
+            );
+            if crashed {
+                tr.push(
+                    TraceEvent::span(
+                        "serve",
+                        "shard.restart",
+                        now_ns + service_ns,
+                        self.cfg.restart_ns,
+                    )
+                    .lane(TRACE_PID_SERVE, s as u32),
+                );
+            }
+            // Splice the batch's VM/HTM events (stamped in raw cycles)
+            // onto the virtual-nanosecond timeline, one lane per shard.
+            for mut ev in vm_buf.expect("trace implies vm buffer").take() {
+                ev.rescale(scale, now_ns);
+                ev.pid = TRACE_PID_VM_BASE + s as u32;
+                tr.push(ev);
             }
         }
 
@@ -369,6 +413,32 @@ pub fn run_service(
     label: impl Into<String>,
     cfg: &ServeConfig,
 ) -> ServiceReport {
+    run_service_impl(module, spec, vm, label, cfg, None)
+}
+
+/// [`run_service`] with trace collection: every batch-service span, shard
+/// restart, and spliced VM/HTM event lands in `buf`, timestamped in
+/// virtual nanoseconds. The returned report is bit-identical to an
+/// untraced run of the same configuration.
+pub fn run_service_traced(
+    module: &Module,
+    spec: RunSpec<'_>,
+    vm: VmConfig,
+    label: impl Into<String>,
+    cfg: &ServeConfig,
+    buf: &mut TraceBuf,
+) -> ServiceReport {
+    run_service_impl(module, spec, vm, label, cfg, Some(buf))
+}
+
+fn run_service_impl(
+    module: &Module,
+    spec: RunSpec<'_>,
+    vm: VmConfig,
+    label: impl Into<String>,
+    cfg: &ServeConfig,
+    trace: Option<&mut TraceBuf>,
+) -> ServiceReport {
     assert!(cfg.requests > 0, "a service run needs at least one request");
     assert!(cfg.shards > 0, "a service run needs at least one shard");
     assert!(spec.worker.is_some() && spec.fini.is_some(), "shard spec needs worker and fini");
@@ -415,6 +485,7 @@ pub fn run_service(
         clean_batches: 0,
         batches: 0,
         duration_ns: 0,
+        trace: trace.as_ref().map(|_| TraceBuf::new()),
     };
 
     // Seed the arrival process.
@@ -445,6 +516,9 @@ pub fn run_service(
     sim.faults.counts = sim.counts;
     sim.faults.mean_clean_service_ns =
         if sim.clean_batches == 0 { 0.0 } else { sim.clean_service_sum / sim.clean_batches as f64 };
+    if let (Some(out), Some(mut collected)) = (trace, sim.trace.take()) {
+        out.events.append(&mut collected.events);
+    }
     ServiceReport {
         label: label.into(),
         requests_offered: sim.counts.total(),
@@ -459,6 +533,9 @@ pub fn run_service(
         batches: sim.batches,
         shards: sim.shards.into_iter().map(|s| s.stats).collect(),
         faults: cfg.faults.map(|_| sim.faults),
+        // The DES serves saga sub-operations as independent requests
+        // (joins are a runtime-layer concept), so nothing to suppress.
+        suppressed_joins: 0,
         wall: None,
     }
 }

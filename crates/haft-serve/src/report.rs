@@ -1,6 +1,7 @@
 //! Service-level measurement report.
 
 use haft_faults::RequestCounts;
+use haft_trace::MetricsSnapshot;
 
 use crate::latency::LatencyStats;
 
@@ -100,6 +101,9 @@ pub struct WallReport {
     pub duration_ns: u64,
     /// Served requests per host wall-clock second.
     pub achieved_rps: f64,
+    /// Actors a worker ran that it did not own — the work-stealing
+    /// traffic between the pool's deques.
+    pub steals: u64,
 }
 
 impl WallReport {
@@ -140,6 +144,10 @@ pub struct ServiceReport {
     pub shards: Vec<ShardStats>,
     /// Present when the serve configuration attached fault injection.
     pub faults: Option<FaultReport>,
+    /// Saga joins whose latency sample was withheld because a sub-batch
+    /// failed (the join still completes for flow control, but a latency
+    /// measured against a lost reply would be fiction).
+    pub suppressed_joins: u64,
     /// Host wall-clock accounting; present only in `ServeMode::Native`
     /// (the simulation has no host clock worth reporting).
     pub wall: Option<WallReport>,
@@ -159,6 +167,35 @@ impl ServiceReport {
     /// The busiest shard's utilization — the saturation indicator.
     pub fn max_utilization(&self) -> f64 {
         self.shards.iter().map(|s| s.utilization(self.duration_ns)).fold(0.0, f64::max)
+    }
+
+    /// Publishes the report into the unified registry under the stable
+    /// `serve.*` (and, for native runs, `pool.*`) names.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set("serve.requests.offered", self.requests_offered as f64);
+        m.set("serve.requests.served", self.requests_served as f64);
+        m.set("serve.duration_ns", self.duration_ns as f64);
+        m.set("serve.achieved_rps", self.achieved_rps);
+        m.set("serve.batches", self.batches as f64);
+        m.set("serve.latency_us.p50", self.latency.p50_ns as f64 / 1e3);
+        m.set("serve.latency_us.p95", self.latency.p95_ns as f64 / 1e3);
+        m.set("serve.latency_us.p99", self.latency.p99_ns as f64 / 1e3);
+        m.set("serve.latency_us.p999", self.latency.p999_ns as f64 / 1e3);
+        m.set("serve.saga.suppressed_joins", self.suppressed_joins as f64);
+        if let Some(f) = &self.faults {
+            m.set("serve.faults.availability_pct", f.availability_pct());
+            m.set("serve.faults.sdc_per_million", f.sdc_per_million());
+            m.set("serve.faults.crashed_batches", f.crashed_batches as f64);
+            m.set("serve.faults.corrected_batches", f.corrected_batches as f64);
+        }
+        if let Some(w) = &self.wall {
+            m.set("pool.workers", w.workers as f64);
+            m.set("pool.steals", w.steals as f64);
+            m.set("pool.wall_ns", w.duration_ns as f64);
+            m.set("pool.wall_rps", w.achieved_rps);
+        }
+        m
     }
 
     /// Multi-line human summary.

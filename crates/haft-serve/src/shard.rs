@@ -2,6 +2,7 @@
 
 use haft_apps::{patch_requests, Op};
 use haft_ir::module::Module;
+use haft_trace::TraceBuf;
 use haft_vm::{FaultPlan, RunResult, RunSpec, Vm, VmConfig};
 
 /// Runs request batches against an already-hardened shard module.
@@ -46,6 +47,22 @@ impl<'a> BatchRunner<'a> {
         let mut vm = self.vm.clone();
         vm.fault = fault;
         Vm::run(&self.module, vm, self.spec)
+    }
+
+    /// [`Self::run_batch`] with VM/HTM trace events appended to `buf`
+    /// (timestamped in raw virtual cycles; the caller rescales them onto
+    /// its own timeline). The returned result is bit-identical to what
+    /// `run_batch` would produce.
+    pub fn run_batch_traced(
+        &mut self,
+        ops: &[Op],
+        fault: Option<FaultPlan>,
+        buf: &mut TraceBuf,
+    ) -> RunResult {
+        patch_requests(&mut self.module, ops);
+        let mut vm = self.vm.clone();
+        vm.fault = fault;
+        Vm::run_traced(&self.module, vm, self.spec, buf)
     }
 }
 

@@ -1,0 +1,126 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! The on-disk format is the classic `{"traceEvents": [...]}` document:
+//! complete spans (`ph: "X"`) and thread-scoped instants (`ph: "i"`),
+//! timestamps in fractional microseconds. Producers stamp events in
+//! nanoseconds (virtual or wall — see the crate docs for the dual-clock
+//! rule), so the writer divides by 1000. `validate_chrome_trace` is the
+//! read side: CI and the `trace_serve` example re-parse what was written
+//! and check it is well-formed and non-empty.
+
+use std::path::Path;
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::json::Json;
+
+/// Builds the `{"traceEvents": [...]}` document. Event `ts` is taken as
+/// nanoseconds and rendered as Chrome's fractional microseconds.
+pub fn to_chrome_json(events: &[TraceEvent]) -> Json {
+    let rows = events.iter().map(event_json).collect();
+    Json::Obj(vec![("traceEvents".to_string(), Json::Arr(rows))])
+}
+
+/// Renders the document as pretty-printed JSON text.
+pub fn render_chrome(events: &[TraceEvent]) -> String {
+    to_chrome_json(events).render()
+}
+
+/// Writes the document to `path`.
+pub fn write_chrome(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, render_chrome(events))
+}
+
+fn event_json(ev: &TraceEvent) -> Json {
+    let mut members = vec![
+        ("name".to_string(), Json::Str(ev.name.to_string())),
+        ("cat".to_string(), Json::Str(ev.cat.to_string())),
+    ];
+    match ev.kind {
+        EventKind::Span { dur } => {
+            members.push(("ph".to_string(), Json::Str("X".to_string())));
+            members.push(("ts".to_string(), Json::Num(ev.ts as f64 / 1e3)));
+            members.push(("dur".to_string(), Json::Num(dur as f64 / 1e3)));
+        }
+        EventKind::Instant => {
+            members.push(("ph".to_string(), Json::Str("i".to_string())));
+            members.push(("ts".to_string(), Json::Num(ev.ts as f64 / 1e3)));
+            members.push(("s".to_string(), Json::Str("t".to_string())));
+        }
+    }
+    members.push(("pid".to_string(), Json::Num(ev.pid as f64)));
+    members.push(("tid".to_string(), Json::Num(ev.tid as f64)));
+    if !ev.args.is_empty() {
+        let args = ev
+            .args
+            .iter()
+            .map(|(k, v)| {
+                let val = match v {
+                    ArgValue::Num(n) => Json::Num(*n),
+                    ArgValue::Str(s) => Json::Str(s.clone()),
+                };
+                (k.to_string(), val)
+            })
+            .collect();
+        members.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(members)
+}
+
+/// Parses `text` as a Chrome trace document and returns event counts per
+/// category (first-seen order). Errors on malformed JSON, a missing or
+/// empty `traceEvents` array, or an event without the required members.
+pub fn validate_chrome_trace(text: &str) -> Result<Vec<(String, usize)>, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array".to_string())?;
+    if events.is_empty() {
+        return Err("trace contains no events".to_string());
+    }
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let cat =
+            ev.get("cat").and_then(Json::as_str).ok_or(format!("event {i}: missing `cat`"))?;
+        for key in ["name", "ph"] {
+            ev.get(key).and_then(Json::as_str).ok_or(format!("event {i}: missing `{key}`"))?;
+        }
+        ev.get("ts").and_then(Json::as_f64).ok_or(format!("event {i}: missing `ts`"))?;
+        match counts.iter_mut().find(|(c, _)| c == cat) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((cat.to_string(), 1)),
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let events = vec![
+            TraceEvent::span("vm", "phase.worker", 2_000, 500).lane(0, 1),
+            TraceEvent::instant("vm", "vote.correct", 2_100).lane(0, 1),
+            TraceEvent::span("htm", "tx", 2_050, 80).lane(0, 1).arg("abort", "conflict"),
+        ];
+        let text = render_chrome(&events);
+        let counts = validate_chrome_trace(&text).unwrap();
+        assert_eq!(counts, vec![("vm".to_string(), 2), ("htm".to_string(), 1)]);
+        // Timestamps land in microseconds.
+        let doc = Json::parse(&text).unwrap();
+        let first = &doc.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(first.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(first.get("dur").unwrap().as_f64(), Some(0.5));
+        assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
+    }
+
+    #[test]
+    fn validator_rejects_empty_and_malformed_traces() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{\"name\": \"x\"}]}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! The structured trace event: one span or instant on some clock.
+//!
+//! Events are deliberately clock-agnostic: `ts` is a plain `u64` in
+//! whatever unit the producer runs on. The VM stamps raw virtual cycles
+//! (its `Scoreboard` clock), the serving layers stamp virtual
+//! nanoseconds, and the native pool stamps host-wall nanoseconds — each
+//! producer rescales embedded events into its own timeline with
+//! [`TraceEvent::rescale`] before merging, so one exported trace holds a
+//! single consistent clock. Names and categories are `&'static str` by
+//! design: pushing an event allocates only when it carries string args,
+//! which keeps the hot-path cost at a bounds check and a few stores.
+
+/// How an event occupies time: an interval or a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval starting at `ts` and lasting `dur` (same unit).
+    Span { dur: u64 },
+    /// A point in time.
+    Instant,
+}
+
+/// A typed argument value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    Num(f64),
+    Str(String),
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Num(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Num(v as f64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One trace event. `pid`/`tid` follow the Chrome trace-event model:
+/// `pid` groups a subsystem (VM, serve, pool), `tid` a lane within it
+/// (VM thread, shard, worker).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Subsystem category (`"vm"`, `"htm"`, `"serve"`, `"pool"`, `"saga"`).
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: &'static str,
+    pub kind: EventKind,
+    /// Start time in the producer's clock unit (see module docs).
+    pub ts: u64,
+    pub pid: u32,
+    pub tid: u32,
+    /// Key/value payload; keys are static, values may allocate.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// A span covering `[ts, ts + dur)`.
+    pub fn span(cat: &'static str, name: &'static str, ts: u64, dur: u64) -> Self {
+        TraceEvent {
+            cat,
+            name,
+            kind: EventKind::Span { dur },
+            ts,
+            pid: 0,
+            tid: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// A point event at `ts`.
+    pub fn instant(cat: &'static str, name: &'static str, ts: u64) -> Self {
+        TraceEvent { cat, name, kind: EventKind::Instant, ts, pid: 0, tid: 0, args: Vec::new() }
+    }
+
+    /// Builder: assigns the process/thread lane.
+    pub fn lane(mut self, pid: u32, tid: u32) -> Self {
+        self.pid = pid;
+        self.tid = tid;
+        self
+    }
+
+    /// Builder: attaches one argument.
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    /// End time (`ts` for instants).
+    pub fn end(&self) -> u64 {
+        match self.kind {
+            EventKind::Span { dur } => self.ts + dur,
+            EventKind::Instant => self.ts,
+        }
+    }
+
+    /// Re-expresses this event on an embedding timeline: `ts` becomes
+    /// `offset + ts * scale` (durations scale without the offset). Used
+    /// when splicing VM-cycle events into a virtual-nanosecond timeline.
+    pub fn rescale(&mut self, scale: f64, offset: u64) {
+        self.ts = offset + (self.ts as f64 * scale).round() as u64;
+        if let EventKind::Span { dur } = &mut self.kind {
+            *dur = (*dur as f64 * scale).round() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let ev = TraceEvent::span("vm", "tx", 100, 40).lane(1, 2).arg("abort", "conflict");
+        assert_eq!(ev.ts, 100);
+        assert_eq!(ev.end(), 140);
+        assert_eq!(ev.pid, 1);
+        assert_eq!(ev.tid, 2);
+        assert_eq!(ev.args, vec![("abort", ArgValue::Str("conflict".into()))]);
+        assert_eq!(TraceEvent::instant("vm", "vote", 7).end(), 7);
+    }
+
+    #[test]
+    fn rescale_maps_cycles_onto_an_embedding_timeline() {
+        // 2 GHz: one cycle is half a nanosecond.
+        let mut ev = TraceEvent::span("vm", "phase", 100, 200);
+        ev.rescale(0.5, 1_000);
+        assert_eq!(ev.ts, 1_050);
+        assert_eq!(ev.kind, EventKind::Span { dur: 100 });
+        let mut point = TraceEvent::instant("vm", "vote", 10);
+        point.rescale(0.5, 1_000);
+        assert_eq!(point.ts, 1_005);
+    }
+}

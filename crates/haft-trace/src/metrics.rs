@@ -1,0 +1,122 @@
+//! The unified metrics registry.
+//!
+//! One flat, sorted `name → value` map with a stable dotted naming
+//! scheme (`vm.cycles.worker`, `htm.aborts.conflict`, `pool.steals`,
+//! `serve.latency_us.p99`). Producers across the workspace export their
+//! scattered counters into one [`MetricsSnapshot`] so reports, the SLO
+//! controller, and tests query a single schema instead of five stat
+//! structs. Names are part of the public contract — a pin test in the
+//! facade crate locks the schema.
+
+use crate::json::Json;
+
+/// A flat snapshot of named scalar metrics, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite value — a metric that cannot be serialized
+    /// is a bug upstream.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        assert!(value.is_finite(), "metric {name}: non-finite value");
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(&name)) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (name, value)),
+        }
+    }
+
+    /// Adds `value` to `name` (counter semantics; missing starts at 0).
+    pub fn add(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        let base = self.get(&name).unwrap_or(0.0);
+        self.set(name, base + value);
+    }
+
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name)).ok().map(|i| self.entries[i].1)
+    }
+
+    /// All metric names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(k, _)| k.as_str()).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds another snapshot in with counter (`add`) semantics.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in other.iter() {
+            self.add(name, value);
+        }
+    }
+
+    /// The snapshot as a flat JSON object (sorted member order).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.entries.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_sorted_names() {
+        let mut m = MetricsSnapshot::new();
+        m.set("vm.cycles.worker", 100.0);
+        m.set("htm.commits", 7.0);
+        m.set("vm.cycles.worker", 120.0);
+        assert_eq!(m.get("vm.cycles.worker"), Some(120.0));
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.names(), vec!["htm.commits", "vm.cycles.worker"]);
+    }
+
+    #[test]
+    fn add_and_merge_are_counter_semantics() {
+        let mut a = MetricsSnapshot::new();
+        a.add("pool.steals", 2.0);
+        a.add("pool.steals", 3.0);
+        let mut b = MetricsSnapshot::new();
+        b.set("pool.steals", 10.0);
+        b.set("serve.batches", 1.0);
+        a.merge(&b);
+        assert_eq!(a.get("pool.steals"), Some(15.0));
+        assert_eq!(a.get("serve.batches"), Some(1.0));
+    }
+
+    #[test]
+    fn json_export_is_sorted() {
+        let mut m = MetricsSnapshot::new();
+        m.set("b", 2.0);
+        m.set("a", 1.0);
+        let text = m.to_json().render();
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_values_are_rejected() {
+        MetricsSnapshot::new().set("x", f64::NAN);
+    }
+}

@@ -25,7 +25,10 @@ pub mod vm;
 pub use cost::CostConfig;
 pub use fault::FaultPlan;
 pub use mem::{Memory, Trap};
-pub use vm::{Engine, FuseStats, PhaseCycles, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+pub use vm::{
+    CycleProfile, Engine, FuseStats, PhaseCycles, ProfileCell, ProfileOpClass, RunOutcome,
+    RunResult, RunSpec, Vm, VmConfig,
+};
 
 // The `haft-runtime` pool runs one VM per shard actor across OS threads,
 // sharing the hardened module and configuration by value or borrow. Pin

@@ -8,10 +8,13 @@ use haft_ir::inst::{AbortCode, BinOp, Callee, CastKind, CmpOp, Op, Operand, RmwO
 use haft_ir::module::{FuncId, Module};
 use haft_ir::rng::Prng;
 use haft_ir::types::Ty;
+use haft_trace::{MetricsSnapshot, TraceBuf, TraceEvent};
 
 use crate::cost::{CostConfig, Scoreboard};
 use crate::fault::FaultPlan;
 use crate::mem::{Memory, Trap};
+
+use self::profile::{OpClass, Profiler};
 
 /// Function "addresses" for indirect calls start here.
 const FUNC_BASE: u64 = 0xF000_0000_0000_0000;
@@ -184,6 +187,28 @@ impl RunResult {
     pub fn output_matches(&self, expected: &[u64]) -> bool {
         self.outcome == RunOutcome::Completed && self.output == expected
     }
+
+    /// Exports the run's counters through the unified metrics registry:
+    /// `vm.cycles.{init,worker,fini,wall,cpu}`, `vm.instructions`,
+    /// `vm.register_writes`, `vm.detections`, `vm.recoveries`,
+    /// `vm.corrected_by_vote`, `vm.mispredicts`, plus the `htm.*` family
+    /// from [`HtmStats`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set("vm.cycles.init", self.phases.init as f64);
+        m.set("vm.cycles.worker", self.phases.worker as f64);
+        m.set("vm.cycles.fini", self.phases.fini as f64);
+        m.set("vm.cycles.wall", self.wall_cycles as f64);
+        m.set("vm.cycles.cpu", self.cpu_cycles as f64);
+        m.set("vm.instructions", self.instructions as f64);
+        m.set("vm.register_writes", self.register_writes as f64);
+        m.set("vm.detections", self.detections as f64);
+        m.set("vm.recoveries", self.recoveries as f64);
+        m.set("vm.corrected_by_vote", self.corrected_by_vote as f64);
+        m.set("vm.mispredicts", self.mispredicts as f64);
+        self.htm.export_metrics(&mut m);
+        m
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -319,6 +344,13 @@ pub struct Vm<'m> {
     phi_scratch: Vec<(u32, u64, u64, Ty)>,
     /// Scratch for call-argument evaluation (fused engine).
     arg_scratch: Vec<u64>,
+    /// Trace sink when tracing is attached ([`Vm::run_traced`]).
+    /// Strictly observational: events read the virtual clock, never
+    /// advance it, so a traced run is bit-identical to an untraced one.
+    trace: Option<TraceBuf>,
+    /// Cycle-attribution state when profiling is attached
+    /// ([`Vm::run_profiled`]); same observational contract as `trace`.
+    profiler: Option<Profiler>,
 }
 
 impl<'m> Vm<'m> {
@@ -351,14 +383,31 @@ impl<'m> Vm<'m> {
             pool: Vec::new(),
             phi_scratch: Vec::new(),
             arg_scratch: Vec::new(),
+            trace: None,
+            profiler: None,
         }
     }
 
     /// Decode-time fusion statistics for `module` under `cfg` — a
     /// diagnostic for benchmarks and docs; does not run anything.
+    #[deprecated(note = "use `Vm::fusion_metrics` (the unified registry's `vm.fuse.*` names)")]
     pub fn fusion_stats(module: &Module, cfg: &VmConfig) -> fuse::FuseStats {
         let mem = Memory::new(module, cfg.mem_bytes);
         decode::Decoded::decode(module, &mem, &cfg.cost).stats
+    }
+
+    /// Decode-time fusion statistics exported through the unified
+    /// metrics registry (`vm.fuse.*` names); does not run anything.
+    pub fn fusion_metrics(module: &Module, cfg: &VmConfig) -> MetricsSnapshot {
+        let mem = Memory::new(module, cfg.mem_bytes);
+        let stats = decode::Decoded::decode(module, &mem, &cfg.cost).stats;
+        let mut m = MetricsSnapshot::new();
+        m.set("vm.fuse.alu_pairs", stats.alu_pairs as f64);
+        m.set("vm.fuse.cmp_br", stats.cmp_br as f64);
+        m.set("vm.fuse.tx_brackets", stats.tx_brackets as f64);
+        m.set("vm.fuse.vote_mem", stats.vote_mem as f64);
+        m.set("vm.fuse.total", stats.total() as f64);
+        m
     }
 
     /// Ops retired so far at the head of a fused super-instruction
@@ -370,7 +419,54 @@ impl<'m> Vm<'m> {
 
     /// Executes all phases of `spec` and returns the measurements.
     pub fn run(module: &'m Module, cfg: VmConfig, spec: RunSpec<'_>) -> RunResult {
+        Self::run_instrumented(module, cfg, spec, None, false).0
+    }
+
+    /// [`Vm::run`] with tracing attached: phase/transaction spans and
+    /// detection/vote instants land in `buf`, timestamped in raw virtual
+    /// cycles (embedding layers rescale; see `haft-trace`). Tracing is
+    /// observational — the returned [`RunResult`] is bit-identical to an
+    /// untraced run, a contract pinned by the root differential tests.
+    pub fn run_traced(
+        module: &'m Module,
+        cfg: VmConfig,
+        spec: RunSpec<'_>,
+        buf: &mut TraceBuf,
+    ) -> RunResult {
+        let (result, trace, _) =
+            Self::run_instrumented(module, cfg, spec, Some(std::mem::take(buf)), false);
+        *buf = trace.expect("trace buffer attached for the whole run");
+        result
+    }
+
+    /// [`Vm::run`] with cycle-attribution profiling attached. The
+    /// returned profile's cell total equals the result's `cpu_cycles`
+    /// exactly; the run itself is bit-identical to an unprofiled one.
+    pub fn run_profiled(
+        module: &'m Module,
+        cfg: VmConfig,
+        spec: RunSpec<'_>,
+    ) -> (RunResult, CycleProfile) {
+        let (result, _, profile) = Self::run_instrumented(module, cfg, spec, None, true);
+        (result, profile.expect("profiler attached for the whole run"))
+    }
+
+    /// The single execution path behind [`Vm::run`]/[`Vm::run_traced`]/
+    /// [`Vm::run_profiled`]: instrumentation hooks are `None`-checked on
+    /// the hot path, so the untraced run executes the same code either
+    /// way.
+    fn run_instrumented(
+        module: &'m Module,
+        cfg: VmConfig,
+        spec: RunSpec<'_>,
+        trace: Option<TraceBuf>,
+        profiled: bool,
+    ) -> (RunResult, Option<TraceBuf>, Option<CycleProfile>) {
         let mut vm = Vm::new(module, cfg);
+        vm.trace = trace;
+        if profiled {
+            vm.profiler = Some(Profiler::new(vm.threads.len()));
+        }
         let decoded = match vm.cfg.engine {
             Engine::Interp => None,
             Engine::Fused => {
@@ -382,7 +478,10 @@ impl<'m> Vm<'m> {
             }
         };
         let outcome = vm.run_phases(spec, decoded.as_ref());
-        vm.finish(outcome)
+        let trace = vm.trace.take();
+        let profile =
+            vm.profiler.take().map(|p| p.into_profile(|fid| vm.m.func(FuncId(fid)).name.clone()));
+        (vm.finish(outcome), trace, profile)
     }
 
     fn run_phases(&mut self, spec: RunSpec<'_>, dc: Option<&decode::Decoded>) -> RunOutcome {
@@ -390,6 +489,7 @@ impl<'m> Vm<'m> {
             let before = self.wall_cycles;
             let out = self.run_serial(name, dc);
             self.phases.init = self.wall_cycles - before;
+            self.trace_phase("phase.init", before);
             match out {
                 RunOutcome::Completed => {}
                 other => return other,
@@ -399,6 +499,7 @@ impl<'m> Vm<'m> {
             let before = self.wall_cycles;
             let out = self.run_parallel(name, dc);
             self.phases.worker = self.wall_cycles - before;
+            self.trace_phase("phase.worker", before);
             match out {
                 RunOutcome::Completed => {}
                 other => return other,
@@ -408,12 +509,21 @@ impl<'m> Vm<'m> {
             let before = self.wall_cycles;
             let out = self.run_serial(name, dc);
             self.phases.fini = self.wall_cycles - before;
+            self.trace_phase("phase.fini", before);
             match out {
                 RunOutcome::Completed => {}
                 other => return other,
             }
         }
         RunOutcome::Completed
+    }
+
+    /// Emits one phase span covering `[before, wall_cycles)` (raw cycles).
+    fn trace_phase(&mut self, name: &'static str, before: u64) {
+        let dur = self.wall_cycles - before;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceEvent::span("vm", name, before, dur));
+        }
     }
 
     fn finish(mut self, outcome: RunOutcome) -> RunResult {
@@ -484,8 +594,14 @@ impl<'m> Vm<'m> {
         let fid = self.func_id(name);
         assert!(self.m.func(fid).params.is_empty(), "serial phase {name} must take no params");
         self.reset_thread_for(0, fid, &[]);
+        if let Some(p) = self.profiler.as_mut() {
+            p.phase_start(0);
+        }
         let out = self.schedule(&[0], dc);
         let clk = self.threads[0].sb.clock;
+        if let Some(p) = self.profiler.as_mut() {
+            p.flush(0, clk);
+        }
         self.wall_cycles += clk;
         self.cpu_cycles += clk;
         out
@@ -497,9 +613,17 @@ impl<'m> Vm<'m> {
         let n = self.cfg.n_threads.max(1);
         for tid in 0..n {
             self.reset_thread_for(tid, fid, &[tid as u64, n as u64]);
+            if let Some(p) = self.profiler.as_mut() {
+                p.phase_start(tid);
+            }
         }
         let tids: Vec<usize> = (0..n).collect();
         let out = self.schedule(&tids, dc);
+        if let Some(p) = self.profiler.as_mut() {
+            for &tid in &tids {
+                p.flush(tid, self.threads[tid].sb.clock);
+            }
+        }
         let wall = tids.iter().map(|&t| self.threads[t].sb.clock).max().unwrap_or(0);
         let cpu: u64 = tids.iter().map(|&t| self.threads[t].sb.clock).sum();
         self.wall_cycles += wall;
@@ -686,6 +810,14 @@ impl<'m> Vm<'m> {
             t.threshold = (t.threshold + t.threshold / 8 + 1).min(max_threshold);
         }
         self.htm.stats.tx_cycles += t.sb.clock.saturating_sub(t.tx_start_clock);
+        if let Some(tr) = self.trace.as_mut() {
+            let start = t.tx_start_clock;
+            let dur = t.sb.clock.saturating_sub(start);
+            tr.push(
+                TraceEvent::span("htm", "tx.commit", self.wall_cycles + start, dur)
+                    .lane(0, tid as u32),
+            );
+        }
         Ok(())
     }
 
@@ -708,6 +840,28 @@ impl<'m> Vm<'m> {
         t.fovl.clear();
         t.elided.clear();
         t.tx_depth = 0;
+        if self.trace.is_some() || self.profiler.is_some() {
+            let start = t.tx_start_clock;
+            let now = t.sb.clock;
+            // Post-restore frame: the rollback penalty is charged where
+            // execution resumes.
+            let fid = t.frames.last().map(|f| f.func.0).unwrap_or(u32::MAX);
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(
+                    TraceEvent::span(
+                        "htm",
+                        "tx.abort",
+                        self.wall_cycles + start,
+                        now.saturating_sub(start),
+                    )
+                    .lane(0, tid as u32)
+                    .arg("cause", cause.to_string()),
+                );
+            }
+            if let Some(p) = self.profiler.as_mut() {
+                p.abort(tid, now, fid);
+            }
+        }
         let resume = t.sb.clock + penalty;
         t.sb.flush_to(resume);
         t.retries += 1;
@@ -730,6 +884,10 @@ impl<'m> Vm<'m> {
     /// Handles `tx_abort` IR instructions (ILR detections).
     fn ilr_detect(&mut self, tid: usize) -> Flow {
         self.detections += 1;
+        if let Some(tr) = self.trace.as_mut() {
+            let ts = self.wall_cycles + self.threads[tid].sb.clock;
+            tr.push(TraceEvent::instant("vm", "ilr.detect", ts).lane(0, tid as u32));
+        }
         if self.threads[tid].in_tx() {
             self.recoveries += 1;
             self.tx_abort(tid, AbortCause::IlrDetected);
@@ -839,6 +997,9 @@ impl<'m> Vm<'m> {
         // Pre-advance the pc; control flow overwrites it.
         self.threads[tid].frames.last_mut().expect("live frame").idx += 1;
         self.instructions += 1;
+        if let Some(p) = self.profiler.as_mut() {
+            p.fetch(tid, self.threads[tid].sb.clock, fid.0, OpClass::of_op(&inst.op));
+        }
 
         let width = self.cfg.cost.width;
         let flow = match &inst.op {
@@ -1192,6 +1353,13 @@ impl<'m> Vm<'m> {
                     Some(v) => {
                         if !(av == bv && av == cv) {
                             self.corrected_by_vote += 1;
+                            if let Some(tr) = self.trace.as_mut() {
+                                let ts = self.wall_cycles + self.threads[tid].sb.clock;
+                                tr.push(
+                                    TraceEvent::instant("vm", "vote.correct", ts)
+                                        .lane(0, tid as u32),
+                                );
+                            }
                         }
                         let ready = ar.max(br).max(cr);
                         let done = self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_vote);
@@ -1480,6 +1648,9 @@ fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
 mod decode;
 mod engine;
 mod fuse;
+mod profile;
+
+pub use profile::{CycleProfile, OpClass as ProfileOpClass, ProfileCell};
 
 pub use fuse::FuseStats;
 

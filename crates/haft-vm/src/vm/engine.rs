@@ -107,6 +107,10 @@ impl<'m> Vm<'m> {
                 self.instructions += 1;
                 let df = &d.funcs[fid];
                 self.fused_retired += df.fuse[pc] as u64;
+                if let Some(p) = self.profiler.as_mut() {
+                    let class = super::profile::OpClass::of_dop(&df.code[pc]);
+                    p.fetch(tid, self.threads[tid].sb.clock, fid as u32, class);
+                }
 
                 match self.exec_dop(tid, &df.code[pc], d) {
                     EFlow::Norm => {}
@@ -611,6 +615,18 @@ impl<'m> Vm<'m> {
                     Some(v) => {
                         if !(av == bv && av == cv) {
                             self.corrected_by_vote += 1;
+                            // `t` stays borrowed; `trace`/`wall_cycles` are
+                            // disjoint `Vm` fields.
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.push(
+                                    haft_trace::TraceEvent::instant(
+                                        "vm",
+                                        "vote.correct",
+                                        self.wall_cycles + t.sb.clock,
+                                    )
+                                    .lane(0, tid as u32),
+                                );
+                            }
                         }
                         let done = t.sb.issue(width, ar.max(br).max(cr), self.cfg.cost.lat_vote);
                         // Forwarded write: not part of the fault-injection

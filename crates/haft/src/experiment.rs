@@ -20,11 +20,14 @@
 //! instruction deltas, transaction/abort statistics, and (for campaigns)
 //! the Table 1 outcome histogram.
 
+use std::path::PathBuf;
+
 use haft_faults::{run_campaign_from, CampaignConfig, CampaignReport};
 use haft_ir::module::Module;
 use haft_passes::{Backend, HardenConfig, PassManager, PassStats};
 use haft_serve::{ServeConfig, ServeMode, ServiceReport};
-use haft_vm::{FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+use haft_trace::TraceBuf;
+use haft_vm::{CycleProfile, FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
 use haft_workloads::Workload;
 
 /// One harden-and-run pipeline over a borrowed module.
@@ -41,6 +44,7 @@ pub struct Experiment<'a> {
     cfg: HardenConfig,
     vm: VmConfig,
     spec: RunSpec<'a>,
+    trace_path: Option<PathBuf>,
     built: std::cell::OnceCell<(Module, PassStats)>,
 }
 
@@ -53,6 +57,7 @@ impl<'a> Experiment<'a> {
             cfg: HardenConfig::native(),
             vm: VmConfig::default(),
             spec: RunSpec::default(),
+            trace_path: None,
             built: std::cell::OnceCell::new(),
         }
     }
@@ -120,6 +125,21 @@ impl<'a> Experiment<'a> {
         self
     }
 
+    /// Exports a Chrome trace-event JSON file (Perfetto-loadable) from
+    /// the next [`Experiment::run`] or [`Experiment::serve_in`] terminal
+    /// op. Tracing never changes what the run measures — the returned
+    /// report is bit-identical to an untraced run (pinned by the
+    /// differential trace test).
+    ///
+    /// Timestamp units by terminal op: `run` exports raw virtual cycles;
+    /// `serve`/`serve_in` export virtual nanoseconds, with native-mode
+    /// pool scheduling events on the host wall clock under their own
+    /// track group (each carries the other clock as an argument).
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// Convenience: the execution engine. Both engines produce identical
     /// [`RunResult`]s (see [`haft_vm::Engine`]); selecting
     /// [`haft_vm::Engine::Interp`] trades wall-clock speed for the
@@ -151,7 +171,15 @@ impl<'a> Experiment<'a> {
     }
 
     fn run_built(&self, module: &Module, pass_stats: PassStats, vm: VmConfig) -> VariantReport {
-        let run = Vm::run(module, vm, self.spec);
+        let run = match &self.trace_path {
+            None => Vm::run(module, vm, self.spec),
+            Some(path) => {
+                let mut buf = TraceBuf::new();
+                let run = Vm::run_traced(module, vm, self.spec, &mut buf);
+                write_trace(path, &buf);
+                run
+            }
+        };
         VariantReport {
             label: self.cfg.label(),
             backend: self.cfg.backend,
@@ -172,6 +200,28 @@ impl<'a> Experiment<'a> {
         let mut vm = self.vm.clone();
         vm.fault = None;
         self.run_built(module, stats.clone(), vm)
+    }
+
+    /// [`Experiment::run`] with cycle-attribution profiling: also returns
+    /// the per-function × op-class virtual-cycle histogram, whose total
+    /// equals the run's `cpu_cycles` exactly (see
+    /// [`haft_vm::CycleProfile`]). The run itself is bit-identical to an
+    /// unprofiled one.
+    pub fn run_profiled(&self) -> (VariantReport, CycleProfile) {
+        self.debug_assert_no_fault("run_profiled");
+        let (module, stats) = self.built();
+        let mut vm = self.vm.clone();
+        vm.fault = None;
+        let (run, profile) = Vm::run_profiled(module, vm, self.spec);
+        let report = VariantReport {
+            label: self.cfg.label(),
+            backend: self.cfg.backend,
+            pass_stats: stats.clone(),
+            run,
+            overhead_vs_native: None,
+            campaign: None,
+        };
+        (report, profile)
     }
 
     /// Hardens (cached) and executes once with a single-event upset
@@ -250,10 +300,26 @@ impl<'a> Experiment<'a> {
         let (module, _stats) = self.built();
         let mut vm = self.vm.clone();
         vm.fault = None;
-        match mode {
-            ServeMode::Sim => haft_serve::run_service(module, self.spec, vm, self.cfg.label(), cfg),
-            ServeMode::Native { workers } => {
-                haft_runtime::run_native(module, self.spec, vm, self.cfg.label(), cfg, workers)
+        let label = self.cfg.label();
+        match (&self.trace_path, mode) {
+            (None, ServeMode::Sim) => haft_serve::run_service(module, self.spec, vm, label, cfg),
+            (None, ServeMode::Native { workers }) => {
+                haft_runtime::run_native(module, self.spec, vm, label, cfg, workers)
+            }
+            (Some(path), ServeMode::Sim) => {
+                let mut buf = TraceBuf::new();
+                let r = haft_serve::run_service_traced(module, self.spec, vm, label, cfg, &mut buf);
+                write_trace(path, &buf);
+                r
+            }
+            (Some(path), ServeMode::Native { workers }) => {
+                let mut buf = TraceBuf::new();
+                let opts = haft_runtime::NativeOpts { workers: workers.max(1), shake_seed: None };
+                let r = haft_runtime::run_native_traced(
+                    module, self.spec, vm, label, cfg, opts, &mut buf,
+                );
+                write_trace(path, &buf);
+                r
             }
         }
     }
@@ -269,17 +335,31 @@ impl<'a> Experiment<'a> {
         self.debug_assert_no_fault("compare");
         let mut vm = self.vm.clone();
         vm.fault = None;
+        // Variant runs never trace: they would all race for one path.
+        let mut base = self.clone();
+        base.trace_path = None;
         let baseline =
-            self.clone().harden(HardenConfig::native()).vm(vm.clone()).run().with_overhead(1.0);
+            base.clone().harden(HardenConfig::native()).vm(vm.clone()).run().with_overhead(1.0);
         let native_cycles = baseline.run.wall_cycles.max(1);
         let mut variants = vec![baseline];
         for cfg in configs {
-            let v = self.clone().harden(cfg.clone()).vm(vm.clone()).run();
+            let v = base.clone().harden(cfg.clone()).vm(vm.clone()).run();
             let overhead = v.run.wall_cycles as f64 / native_cycles as f64;
             variants.push(v.with_overhead(overhead));
         }
         ExperimentReport { variants }
     }
+}
+
+/// Writes the collected events as Chrome trace-event JSON.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — a trace the caller asked for
+/// and silently lost would be worse.
+fn write_trace(path: &std::path::Path, buf: &TraceBuf) {
+    haft_trace::write_chrome(path, &buf.events)
+        .unwrap_or_else(|e| panic!("failed to write trace to {}: {e}", path.display()));
 }
 
 /// Everything measured for one harden configuration.

@@ -24,6 +24,7 @@
 //! | [`apps`] | memcached, LogCabin, Apache, LevelDB, SQLite case studies |
 //! | [`serve`] | the YCSB client cluster: sharded serving, tail latency, availability |
 //! | [`runtime`] | the multi-core deployment: shard actors on a work-stealing thread pool |
+//! | [`trace`] | the observability layer: trace events, Perfetto export, unified metrics |
 //!
 //! # Examples
 //!
@@ -117,6 +118,7 @@ pub use haft_model as model;
 pub use haft_passes as passes;
 pub use haft_runtime as runtime;
 pub use haft_serve as serve;
+pub use haft_trace as trace;
 pub use haft_vm as vm;
 pub use haft_workloads as workloads;
 
@@ -140,6 +142,9 @@ pub mod prelude {
         ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, SagaLoad, ServeConfig,
         ServeMode, ServiceReport, ShardStats, WallReport,
     };
-    pub use haft_vm::{Engine, FaultPlan, RunOutcome, RunResult, RunSpec, Vm, VmConfig};
+    pub use haft_trace::{validate_chrome_trace, MetricsSnapshot, TraceBuf, TraceEvent};
+    pub use haft_vm::{
+        CycleProfile, Engine, FaultPlan, ProfileCell, RunOutcome, RunResult, RunSpec, Vm, VmConfig,
+    };
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }

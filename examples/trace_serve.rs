@@ -1,0 +1,45 @@
+//! Traces a native serving run and validates the exported Chrome trace.
+//!
+//! Runs the hardened KV shard under saga traffic on the work-stealing
+//! native runtime with `Experiment::trace` attached, then re-reads the
+//! emitted file through `validate_chrome_trace` and prints the event
+//! census. CI runs this as the trace smoke test; locally, load the
+//! printed path in <https://ui.perfetto.dev> to browse the timeline —
+//! batch/VM/HTM activity on the virtual clock, pool scheduling on the
+//! wall clock.
+//!
+//! Run with: `cargo run --example trace_serve`
+
+use haft::apps::{kv_shard, KvSync};
+use haft::prelude::*;
+
+fn main() {
+    let w = kv_shard(KvSync::Atomics);
+    let cfg = ServeConfig {
+        requests: 400,
+        shards: 3,
+        sagas: Some(SagaLoad { every: 3, span: 3 }),
+        ..Default::default()
+    };
+    let path = std::env::temp_dir().join("haft-trace-serve.json");
+
+    let report = Experiment::workload(&w)
+        .harden(HardenConfig::haft())
+        .trace(&path)
+        .serve_in(ServeMode::Native { workers: 3 }, &cfg);
+    println!("{}", report.summary());
+
+    // Read back what was written and prove it is a well-formed,
+    // non-empty Chrome trace that covers every subsystem.
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let counts = validate_chrome_trace(&text).expect("trace must validate");
+    println!("\ntrace: {} ({} bytes)", path.display(), text.len());
+    for (cat, n) in &counts {
+        println!("  {cat:<8} {n:>6} events");
+    }
+    let cats: Vec<&str> = counts.iter().map(|(c, _)| c.as_str()).collect();
+    for required in ["vm", "htm", "serve", "pool", "saga"] {
+        assert!(cats.contains(&required), "missing `{required}` events: {cats:?}");
+    }
+    println!("\nload it at https://ui.perfetto.dev to browse the timeline");
+}

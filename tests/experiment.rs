@@ -100,7 +100,7 @@ fn compare_races_haft_against_tmr() {
     // TMR runs the single `tmr` pass and publishes its vote count.
     let tmr = report.variant("TMR").unwrap();
     assert_eq!(tmr.pass_stats.pass_names(), vec!["tmr"]);
-    assert!(tmr.pass_stats.counter("tmr.votes").unwrap() > 0);
+    assert!(tmr.pass_stats.metrics().get("pass.tmr.votes").unwrap() > 0.0);
     assert_eq!(tmr.run.htm.commits, 0, "TMR must not transactify");
 
     let v = Experiment::workload(&w)

@@ -1,0 +1,202 @@
+//! Differential and schema tests for the observability layer
+//! (`haft-trace`): tracing and profiling must be strictly observational
+//! (bit-identical results with instrumentation on or off), cycle
+//! attribution must sum exactly to the run's cycle accounting, a native
+//! serving trace must cover every subsystem, and the unified metrics
+//! registry's names must stay stable.
+
+use haft::apps::{kv_shard, KvSync};
+use haft::prelude::*;
+
+/// Unique scratch path for trace files (no tempfile dependency; the OS
+/// temp dir plus the test name and process id is collision-free enough
+/// for a test binary that runs each test at most once per process).
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("haft-{}-{}.json", name, std::process::id()))
+}
+
+/// `Vm::run_traced` must return a `RunResult` bit-identical to
+/// `Vm::run` — on both engines, for native, HAFT, and TMR hardening.
+/// This is the core zero-cost contract: attaching a trace buffer
+/// observes the run, it never perturbs it.
+#[test]
+fn traced_vm_run_is_bit_identical() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    for engine in [Engine::Interp, Engine::Fused] {
+        for cfg in [HardenConfig::native(), HardenConfig::haft(), HardenConfig::tmr()] {
+            let label = cfg.label();
+            let exp = Experiment::workload(&w).harden(cfg).engine(engine).threads(2);
+            let (module, _) = exp.build();
+            let vm = VmConfig { n_threads: 2, engine, ..Default::default() };
+            let plain = Vm::run(&module, vm.clone(), w.run_spec());
+            let mut buf = TraceBuf::new();
+            let traced = Vm::run_traced(&module, vm, w.run_spec(), &mut buf);
+            assert_eq!(plain, traced, "{engine:?}/{label}: tracing changed the result");
+            assert!(!buf.events.is_empty(), "{engine:?}/{label}: no events collected");
+        }
+    }
+}
+
+/// `Vm::run_profiled` must also be bit-identical, and the profile's
+/// cell total must equal the run's `cpu_cycles` *exactly* — the
+/// telescoping attribution leaves no cycle unaccounted and counts none
+/// twice. Pinned on both engines so the fused fetch path prices
+/// identically to the interpreter.
+#[test]
+fn profile_attribution_sums_exactly_to_cpu_cycles() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    for engine in [Engine::Interp, Engine::Fused] {
+        for cfg in [HardenConfig::haft(), HardenConfig::tmr()] {
+            let label = cfg.label();
+            let exp = Experiment::workload(&w).harden(cfg).engine(engine).threads(2);
+            let plain = exp.run();
+            let (profiled, profile) = exp.run_profiled();
+            assert_eq!(plain.run, profiled.run, "{engine:?}/{label}: profiling changed the run");
+            assert_eq!(
+                profile.total(),
+                profiled.run.cpu_cycles,
+                "{engine:?}/{label}: attribution must sum exactly"
+            );
+            assert!(!profile.by_function().is_empty());
+        }
+    }
+}
+
+/// A traced DES serve run must return a `ServiceReport` equal to the
+/// untraced one — full structural equality, including latency
+/// percentiles, per-shard stats, and fault accounting.
+#[test]
+fn traced_sim_serve_is_bit_identical() {
+    let w = kv_shard(KvSync::Atomics);
+    let cfg = ServeConfig {
+        requests: 120,
+        shards: 2,
+        faults: Some(FaultLoad::default()),
+        sagas: Some(SagaLoad::default()),
+        ..Default::default()
+    };
+    let exp = Experiment::workload(&w).harden(HardenConfig::haft());
+    let plain = exp.serve(&cfg);
+
+    let path = scratch("sim-serve");
+    let traced = exp.clone().trace(&path).serve(&cfg);
+    assert_eq!(plain, traced, "tracing changed the DES report");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let counts = validate_chrome_trace(&text).unwrap();
+    let cats: Vec<&str> = counts.iter().map(|(c, _)| c.as_str()).collect();
+    assert!(cats.contains(&"serve"), "missing serve events: {cats:?}");
+    assert!(cats.contains(&"vm"), "missing spliced VM events: {cats:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A traced native run must produce a Perfetto-loadable file whose
+/// events span every subsystem: VM phases, HTM transactions, batch
+/// service, pool scheduling, and saga lifecycle.
+#[test]
+fn native_trace_covers_every_subsystem() {
+    let w = kv_shard(KvSync::Atomics);
+    let cfg = ServeConfig {
+        requests: 160,
+        shards: 2,
+        sagas: Some(SagaLoad { every: 2, span: 3 }),
+        ..Default::default()
+    };
+    let path = scratch("native-serve");
+    let report = Experiment::workload(&w)
+        .harden(HardenConfig::haft())
+        .trace(&path)
+        .serve_in(ServeMode::Native { workers: 2 }, &cfg);
+    assert_eq!(report.requests_served, 160);
+    assert!(report.wall.is_some(), "native run must fill the wall report");
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let counts = validate_chrome_trace(&text).unwrap();
+    let cats: Vec<&str> = counts.iter().map(|(c, _)| c.as_str()).collect();
+    for required in ["vm", "htm", "serve", "pool", "saga"] {
+        assert!(cats.contains(&required), "missing `{required}` events: {cats:?}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The unified registry's metric names are a public schema: dashboards
+/// and the report harness key on them, so renames are breaking changes.
+/// This pins every name each exporter emits.
+#[test]
+fn metrics_registry_names_are_stable() {
+    let w = workload_by_name("histogram", Scale::Small).unwrap();
+    let v = Experiment::workload(&w).harden(HardenConfig::haft()).threads(2).run();
+
+    let vm_metrics = v.run.metrics();
+    let vm_names: Vec<&str> = vm_metrics.names();
+    assert_eq!(
+        vm_names,
+        vec![
+            "htm.aborts.capacity",
+            "htm.aborts.conflict",
+            "htm.aborts.explicit",
+            "htm.aborts.ilr-detected",
+            "htm.aborts.spontaneous",
+            "htm.aborts.timer",
+            "htm.aborts.unfriendly",
+            "htm.commits",
+            "htm.fallbacks",
+            "htm.started",
+            "htm.total_cycles",
+            "htm.tx_cycles",
+            "vm.corrected_by_vote",
+            "vm.cycles.cpu",
+            "vm.cycles.fini",
+            "vm.cycles.init",
+            "vm.cycles.wall",
+            "vm.cycles.worker",
+            "vm.detections",
+            "vm.instructions",
+            "vm.mispredicts",
+            "vm.recoveries",
+            "vm.register_writes",
+        ]
+    );
+    assert_eq!(v.run.metrics().get("htm.commits"), Some(v.run.htm.commits as f64));
+
+    let pass_metrics = v.pass_stats.metrics();
+    let pass_names: Vec<&str> = pass_metrics.names();
+    assert_eq!(pass_names, vec!["pass.added.total", "pass.ilr.functions", "pass.tx.functions"]);
+
+    let fuse = Vm::fusion_metrics(&w.module, &VmConfig::default());
+    assert_eq!(
+        fuse.names(),
+        vec![
+            "vm.fuse.alu_pairs",
+            "vm.fuse.cmp_br",
+            "vm.fuse.total",
+            "vm.fuse.tx_brackets",
+            "vm.fuse.vote_mem",
+        ]
+    );
+
+    let kv = kv_shard(KvSync::Atomics);
+    let cfg =
+        ServeConfig { requests: 60, faults: Some(FaultLoad::default()), ..Default::default() };
+    let report = Experiment::workload(&kv).harden(HardenConfig::haft()).serve(&cfg);
+    let m = report.metrics();
+    for name in [
+        "serve.requests.offered",
+        "serve.requests.served",
+        "serve.duration_ns",
+        "serve.achieved_rps",
+        "serve.batches",
+        "serve.latency_us.p50",
+        "serve.latency_us.p95",
+        "serve.latency_us.p99",
+        "serve.latency_us.p999",
+        "serve.saga.suppressed_joins",
+        "serve.faults.availability_pct",
+        "serve.faults.sdc_per_million",
+        "serve.faults.crashed_batches",
+        "serve.faults.corrected_batches",
+    ] {
+        assert!(m.get(name).is_some(), "missing serve metric `{name}`: {:?}", m.names());
+    }
+    assert_eq!(m.get("serve.requests.served"), Some(report.requests_served as f64));
+}
