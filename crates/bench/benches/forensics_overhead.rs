@@ -1,0 +1,68 @@
+//! Forensics overhead: host wall-clock cost of taint-based fault
+//! forensics on an injection campaign.
+//!
+//! Two claims are pinned. **Off is free**: clean runs and
+//! forensics-off fault runs share the untainted fast path — proven
+//! bit-identical by the differential tests in `tests/properties.rs` —
+//! so this bench only prices the *on* path. **On is bounded**: a
+//! forensics-enabled campaign (shadow taint set maintained on every
+//! fault run) stays under the CI ratio bound over the plain campaign
+//! (min-over-rounds estimator, the only one that survives shared-runner
+//! noise).
+
+use std::time::Instant;
+
+use haft_bench::{experiment, recommended_threshold};
+use haft_faults::CampaignConfig;
+use haft_passes::HardenConfig;
+
+/// Forensics-on over forensics-off campaign wall-clock bound asserted in
+/// full mode (the issue's acceptance bound).
+const MAX_FORENSICS_RATIO: f64 = 1.5;
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let rounds = if fast { 2 } else { 7 };
+    let injections: u64 = if fast { 16 } else { 60 };
+    let names: &[&str] = if fast { &["linearreg"] } else { &["linearreg", "histogram"] };
+    let threads = 2;
+
+    println!(
+        "\n=== Forensics overhead on HAFT injection campaigns \
+         ({injections} injections, {threads} threads) ==="
+    );
+    haft_bench::header(&["plain ms", "forensics ms", "ratio", "fired"]);
+    for name in names {
+        let w = haft_workloads::workload_by_name(name, haft_workloads::Scale::Small).unwrap();
+        let exp = experiment(&w, threads, recommended_threshold(name)).harden(HardenConfig::haft());
+        let cfg = CampaignConfig { injections, seed: 0x0F20, ..Default::default() };
+
+        let (mut best_plain, mut best_on) = (f64::INFINITY, f64::INFINITY);
+        let mut fired = 0u64;
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let plain = exp.campaign(cfg.clone()).campaign.unwrap();
+            best_plain = best_plain.min(t0.elapsed().as_secs_f64());
+
+            let t1 = Instant::now();
+            let on =
+                exp.campaign(CampaignConfig { forensics: true, ..cfg.clone() }).campaign.unwrap();
+            best_on = best_on.min(t1.elapsed().as_secs_f64());
+
+            // Forensics is observational: the outcome histogram is the
+            // same campaign either way.
+            assert_eq!(plain.counts, on.counts, "{name}: forensics changed outcomes");
+            fired = on.forensics.as_ref().map_or(0, |f| f.fired);
+        }
+
+        let ratio = best_on / best_plain;
+        haft_bench::row(name, &[best_plain * 1e3, best_on * 1e3, ratio, fired as f64]);
+        if !fast {
+            assert!(
+                ratio < MAX_FORENSICS_RATIO,
+                "{name}: forensics-on overhead {ratio:.3}x exceeds {MAX_FORENSICS_RATIO}x"
+            );
+        }
+    }
+    println!("(min over {rounds} interleaved rounds; forensics off shares the untainted path)");
+}

@@ -20,8 +20,14 @@ pub struct CampaignConfig {
     /// an error.
     pub parallelism: usize,
     /// VM configuration for every run (simulated thread count, HTM
-    /// parameters, ...). The fault plan field is overwritten per run.
+    /// parameters, ...). The fault plan and forensics fields are
+    /// overwritten per run.
     pub vm: VmConfig,
+    /// Enable per-run fault forensics (taint tracking on fault runs) and
+    /// aggregate the records into [`CampaignReport::forensics`]. Off by
+    /// default: tracking makes injection runs slower, and outcome counts
+    /// are identical either way.
+    pub forensics: bool,
 }
 
 impl Default for CampaignConfig {
@@ -31,6 +37,7 @@ impl Default for CampaignConfig {
             seed: 0xFA_17,
             parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             vm: VmConfig { n_threads: 2, ..Default::default() },
+            forensics: false,
         }
     }
 }
@@ -69,10 +76,7 @@ pub fn run_campaign_from(
 
     // Step 2: plan the injections (uniform over the dynamic trace, random
     // XOR masks — the paper's weighted-random selection).
-    let mut rng = Prng::new(cfg.seed);
-    let plans: Vec<FaultPlan> = (0..cfg.injections)
-        .map(|_| FaultPlan { occurrence: rng.below(population), xor_mask: rng.next_u64() })
-        .collect();
+    let plans = plan_injections(cfg.seed, cfg.injections, population);
 
     // Step 3: execute and classify, fanned out over OS threads.
     // `parallelism: 0` clamps to serial execution; outcome counts are
@@ -85,13 +89,19 @@ pub fn run_campaign_from(
         for piece in plans.chunks(chunk.max(1)) {
             let vm_cfg = cfg.vm.clone();
             let golden_out = &golden.output;
+            let forensics = cfg.forensics;
             handles.push(scope.spawn(move || {
                 let mut local = CampaignReport::default();
                 for plan in piece {
                     let mut c = vm_cfg.clone();
                     c.fault = Some(*plan);
+                    c.forensics = forensics;
                     let r = Vm::run(module, c, spec);
-                    local.record(classify(&r, golden_out));
+                    let o = classify(&r, golden_out);
+                    local.record(o);
+                    if let Some(fx) = &r.forensics {
+                        local.record_forensics(o, fx);
+                    }
                 }
                 local
             }));
@@ -101,6 +111,28 @@ pub fn run_campaign_from(
         }
     });
     report
+}
+
+/// Draws the injection plans: occurrences uniform over the dynamic
+/// register-write trace, XOR masks rejection-sampled until the low byte is
+/// nonzero. Truncation to any destination width (i8 and up) then still
+/// leaves at least one flipped bit, which keeps the forced-bit-0 fallback
+/// in [`FaultPlan::effective_mask`] a defensive path instead of skewing
+/// narrow-type flip distributions toward bit 0. Expected rejections: 1 in
+/// 256 draws, so planning stays effectively O(n) and deterministic in
+/// `seed`.
+fn plan_injections(seed: u64, n: u64, population: u64) -> Vec<FaultPlan> {
+    let mut rng = Prng::new(seed);
+    (0..n)
+        .map(|_| {
+            let occurrence = rng.below(population);
+            let mut xor_mask = rng.next_u64();
+            while xor_mask & 0xff == 0 {
+                xor_mask = rng.next_u64();
+            }
+            FaultPlan { occurrence, xor_mask }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -156,6 +188,7 @@ mod tests {
             seed: 42,
             parallelism: 2,
             vm: VmConfig { n_threads: 1, max_instructions: 5_000_000, ..Default::default() },
+            forensics: false,
         }
     }
 
@@ -232,6 +265,76 @@ mod tests {
         assert!(r.pct(Outcome::VoteCorrected) > 10.0, "{}", r.summary());
         assert_eq!(r.pct(Outcome::HaftCorrected), 0.0, "no rollback machinery in TMR");
         assert!(r.pct(Outcome::Sdc) < 5.0, "{}", r.summary());
+    }
+
+    #[test]
+    fn sampled_masks_survive_narrow_truncation() {
+        // Regression for the bit-0 skew: every planned mask must keep at
+        // least one bit after truncation to any destination width, so the
+        // forced-single-bit fallback in `effective_mask` never fires for
+        // campaign-planned faults.
+        let plans = plan_injections(42, 500, 1000);
+        assert_eq!(plans.len(), 500);
+        for p in &plans {
+            assert_ne!(p.xor_mask & 0xff, 0);
+            for ty in [Ty::I8, Ty::I16, Ty::I32, Ty::I64] {
+                assert_eq!(
+                    p.effective_mask(ty),
+                    p.xor_mask & ty.mask(),
+                    "fallback fired for {ty:?} on mask {:#x}",
+                    p.xor_mask
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forensics_records_the_actual_applied_mask() {
+        // A program whose first register write is an i8 add. With a mask
+        // whose low byte is empty, the i8 truncation is zero and the
+        // forced-bit-0 fallback fires — forensics must record the bit
+        // actually flipped, not the drawn mask.
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("fini", &[], None);
+        fb.set_non_local();
+        let a = fb.iconst(Ty::I8, 5);
+        let b = fb.iconst(Ty::I8, 2);
+        let x = fb.add(Ty::I8, a, b);
+        fb.emit_out(Ty::I8, x);
+        fb.ret(None);
+        m.push_func(fb.finish());
+
+        let run = |mask: u64| {
+            let cfg = VmConfig {
+                n_threads: 1,
+                fault: Some(FaultPlan { occurrence: 0, xor_mask: mask }),
+                forensics: true,
+                ..Default::default()
+            };
+            Vm::run(&m, cfg, spec()).forensics.expect("fault must fire").site.applied_mask
+        };
+        assert_eq!(run(0xFF00), 1, "fallback path must be recorded as bit 0");
+        assert_eq!(run(0x0F), 0x0F, "truncated mask applied verbatim");
+    }
+
+    #[test]
+    fn forensics_campaign_aggregates_without_changing_outcomes() {
+        let m = program();
+        let hardened = harden(&m, &HardenConfig::haft());
+        let plain = run_campaign(&hardened, spec(), &campaign(80));
+        let mut cfg = campaign(80);
+        cfg.forensics = true;
+        let traced = run_campaign(&hardened, spec(), &cfg);
+        assert_eq!(plain.counts, traced.counts, "forensics must not change outcomes");
+        assert!(plain.forensics.is_none());
+        let s = traced.forensics.as_ref().expect("forensics aggregate");
+        assert!(s.fired > 0);
+        assert_eq!(s.fired, s.sites.values().map(|v| v.injections).sum::<u64>());
+        let metrics = traced.metrics();
+        assert_eq!(
+            metrics.get("faults.detect_latency.ilr.count").map(|v| v as u64),
+            s.latency_insts.get(&haft_vm::FaultDetector::Ilr).map(|h| h.count).or(Some(0))
+        );
     }
 
     #[test]

@@ -58,6 +58,20 @@ impl Outcome {
         Outcome::Masked,
         Outcome::Sdc,
     ];
+
+    /// Stable dotted name in the unified metrics registry
+    /// (`faults.outcome.<label>`); pinned by the haft-trace schema test.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Outcome::Hang => "faults.outcome.hang",
+            Outcome::OsDetected => "faults.outcome.os-detected",
+            Outcome::IlrDetected => "faults.outcome.ilr-detected",
+            Outcome::HaftCorrected => "faults.outcome.haft-corrected",
+            Outcome::VoteCorrected => "faults.outcome.vote-corrected",
+            Outcome::Masked => "faults.outcome.masked",
+            Outcome::Sdc => "faults.outcome.sdc",
+        }
+    }
 }
 
 /// Availability groups.
@@ -66,6 +80,18 @@ pub enum Group {
     Crashed,
     Correct,
     Corrupted,
+}
+
+impl Group {
+    /// Stable dotted name in the unified metrics registry
+    /// (`faults.group.<label>`); pinned by the haft-trace schema test.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Group::Crashed => "faults.group.crashed",
+            Group::Correct => "faults.group.correct",
+            Group::Corrupted => "faults.group.corrupted",
+        }
+    }
 }
 
 /// Classifies one injected run against the golden reference.
@@ -233,6 +259,7 @@ mod tests {
             recoveries,
             corrected_by_vote: 0,
             mispredicts: 0,
+            forensics: None,
         }
     }
 

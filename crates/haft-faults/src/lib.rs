@@ -21,8 +21,10 @@
 
 pub mod campaign;
 pub mod classify;
+pub mod forensics;
 pub mod report;
 
 pub use campaign::{run_campaign, run_campaign_from, CampaignConfig};
 pub use classify::{classify, classify_requests, Group, Outcome, RequestCounts, RequestOutcome};
+pub use forensics::{ForensicsSummary, LatencyHistogram, SiteStats};
 pub use report::CampaignReport;

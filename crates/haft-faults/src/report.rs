@@ -2,13 +2,20 @@
 
 use std::collections::BTreeMap;
 
+use haft_trace::MetricsSnapshot;
+use haft_vm::Forensics;
+
 use crate::classify::{Group, Outcome};
+use crate::forensics::ForensicsSummary;
 
 /// Aggregated results of one injection campaign.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignReport {
     pub counts: BTreeMap<Outcome, u64>,
     pub runs: u64,
+    /// Forensics aggregate; `Some` iff the campaign ran with
+    /// [`crate::CampaignConfig::forensics`] enabled.
+    pub forensics: Option<ForensicsSummary>,
 }
 
 impl CampaignReport {
@@ -16,6 +23,12 @@ impl CampaignReport {
     pub fn record(&mut self, o: Outcome) {
         *self.counts.entry(o).or_insert(0) += 1;
         self.runs += 1;
+    }
+
+    /// Folds one per-run forensics record in (creates the aggregate on
+    /// first use, so callers never pre-initialize).
+    pub fn record_forensics(&mut self, o: Outcome, fx: &Forensics) {
+        self.forensics.get_or_insert_with(ForensicsSummary::default).record(o, fx);
     }
 
     /// Percentage of runs with this outcome.
@@ -44,6 +57,29 @@ impl CampaignReport {
             *self.counts.entry(*o).or_insert(0) += n;
         }
         self.runs += other.runs;
+        if let Some(fx) = &other.forensics {
+            self.forensics.get_or_insert_with(ForensicsSummary::default).merge(fx);
+        }
+    }
+
+    /// The campaign as unified metrics: run/outcome counters under
+    /// `faults.outcome.*`, Table-1 group percentages under
+    /// `faults.group.*`, and — when forensics ran — the
+    /// `faults.detect_latency.*` / `faults.propagation.*` aggregate. All
+    /// names are static; the schema is pinned by the facade trace tests.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set("faults.runs", self.runs as f64);
+        for o in Outcome::ALL {
+            m.set(o.metric_name(), self.counts.get(&o).copied().unwrap_or(0) as f64);
+        }
+        for g in [Group::Correct, Group::Crashed, Group::Corrupted] {
+            m.set(g.metric_name(), self.group_pct(g));
+        }
+        if let Some(fx) = &self.forensics {
+            fx.metrics_into(&mut m);
+        }
+        m
     }
 
     /// One-line summary used by the bench harness.
@@ -93,6 +129,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.runs, 3);
         assert_eq!(a.counts[&Outcome::Sdc], 2);
+    }
+
+    #[test]
+    fn metrics_export_uses_stable_names() {
+        let mut r = CampaignReport::default();
+        r.record(Outcome::Sdc);
+        r.record(Outcome::Masked);
+        let m = r.metrics();
+        assert_eq!(m.get("faults.runs"), Some(2.0));
+        assert_eq!(m.get("faults.outcome.sdc"), Some(1.0));
+        assert_eq!(m.get("faults.outcome.ilr-detected"), Some(0.0));
+        assert_eq!(m.get("faults.group.corrupted"), Some(50.0));
+        // The forensics block only appears when forensics actually ran.
+        assert_eq!(m.get("faults.forensics.fired"), None);
     }
 
     #[test]

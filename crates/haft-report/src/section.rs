@@ -9,6 +9,7 @@
 use crate::render::{Series, Table};
 
 mod faults;
+mod forensics;
 mod overheads;
 mod profile;
 mod serving;
@@ -16,6 +17,7 @@ mod tradeoff;
 mod txsweep;
 
 pub use faults::FaultHistograms;
+pub use forensics::ForensicsSection;
 pub use overheads::Overheads;
 pub use profile::Profile;
 pub use serving::Serving;
@@ -59,6 +61,7 @@ pub fn all_sections() -> Vec<Box<dyn Section>> {
     vec![
         Box::new(Overheads),
         Box::new(FaultHistograms),
+        Box::new(ForensicsSection),
         Box::new(TxSweep),
         Box::new(Serving),
         Box::new(HaftVsElzar),
@@ -76,7 +79,15 @@ mod tests {
         let names: Vec<&str> = sections.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["overheads", "fault-histograms", "tx-sweep", "serving", "haft-vs-elzar", "profile"]
+            [
+                "overheads",
+                "fault-histograms",
+                "forensics",
+                "tx-sweep",
+                "serving",
+                "haft-vs-elzar",
+                "profile"
+            ]
         );
         for s in &sections {
             assert!(!s.title().is_empty() && !s.paper_ref().is_empty(), "{}", s.name());

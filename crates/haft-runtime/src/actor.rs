@@ -14,7 +14,7 @@ use haft_apps::{golden_reply, Op};
 use haft_faults::{classify_requests, RequestCounts, RequestOutcome};
 use haft_ir::module::Module;
 use haft_ir::rng::Prng;
-use haft_serve::report::{FaultReport, ShardStats};
+use haft_serve::report::{FaultReport, FaultTelemetry, ShardStats};
 use haft_serve::{BatchRunner, ServeConfig, TRACE_PID_SERVE, TRACE_PID_VM_BASE};
 use haft_trace::{TraceBuf, TraceEvent};
 use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
@@ -58,6 +58,11 @@ pub struct ShardActor<'a> {
     /// Partial fault report (everything except merged counts and the
     /// clean-batch mean, which the pool derives).
     pub faults: FaultReport,
+    /// Per-interval outcome telemetry on the shard's virtual clock;
+    /// allocated iff fault load is attached. The pool merges the shards'
+    /// maps — pure counter addition keyed by interval index, so the
+    /// result is independent of worker scheduling.
+    pub telemetry: Option<FaultTelemetry>,
     pub clean_service_sum: f64,
     pub clean_batches: u64,
     /// Saga joins whose latency sample was withheld because a sub-batch
@@ -102,6 +107,7 @@ impl<'a> ShardActor<'a> {
             samples: Vec::new(),
             counts: RequestCounts::default(),
             faults: FaultReport::default(),
+            telemetry: cfg.faults.map(|_| FaultTelemetry::default()),
             clean_service_sum: 0.0,
             clean_batches: 0,
             suppressed_joins: 0,
@@ -209,6 +215,9 @@ impl<'a> ShardActor<'a> {
         let mut freed_vns = Vec::with_capacity(batch.len());
         for (req, &o) in batch.iter().zip(&outcomes) {
             self.counts.record(o);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record(completion, o);
+            }
             match &req.saga {
                 None => {
                     if o != RequestOutcome::Failed {

@@ -213,6 +213,7 @@ fn assemble_report(
     let mut samples = Vec::new();
     let mut shards = Vec::with_capacity(actors.len());
     let mut faults = FaultReport::default();
+    let mut telemetry: Option<haft_serve::FaultTelemetry> = None;
     let mut clean_sum = 0.0;
     let mut clean_batches = 0u64;
     let mut batches = 0u64;
@@ -232,6 +233,9 @@ fn assemble_report(
         clean_sum += a.clean_service_sum;
         clean_batches += a.clean_batches;
         suppressed_joins += a.suppressed_joins;
+        if let Some(t) = &a.telemetry {
+            telemetry.get_or_insert_with(Default::default).merge(t);
+        }
     }
     assert_eq!(
         counts.total(),
@@ -256,6 +260,7 @@ fn assemble_report(
         batches,
         shards,
         faults: cfg.faults.map(|_| faults),
+        fault_telemetry: telemetry,
         suppressed_joins,
         wall: Some(WallReport {
             workers,
@@ -361,5 +366,12 @@ mod tests {
         assert_eq!(f.counts.total(), 300);
         assert_eq!(r.requests_served, 300 - f.counts.failed);
         assert_eq!(r.latency.count, r.requests_served);
+        // Telemetry merged across shards accounts the same totals, on the
+        // same schema the simulation uses.
+        let t = r.fault_telemetry.expect("telemetry attached with fault load");
+        assert_eq!(t.intervals.values().map(|c| c.total()).sum::<u64>(), 300);
+        assert_eq!(t.intervals.values().map(|c| c.sdc).sum::<u64>(), f.counts.sdc);
+        let ewma = t.fault_rate_ewma(haft_serve::report::TELEMETRY_EWMA_ALPHA);
+        assert!((0.0..=1.0).contains(&ewma));
     }
 }

@@ -52,7 +52,9 @@ use haft_vm::{FaultPlan, RunOutcome, RunSpec, VmConfig};
 
 pub use arrival::{ArrivalMode, PoissonArrivals};
 pub use latency::LatencyStats;
-pub use report::{FaultReport, ServiceReport, ShardStats, WallReport};
+pub use report::{
+    FaultReport, FaultTelemetry, IntervalCounts, ServiceReport, ShardStats, WallReport,
+};
 pub use router::RouterPolicy;
 pub use shard::BatchRunner;
 
@@ -218,6 +220,8 @@ struct Sim<'m, 'c> {
     samples: Vec<u64>,
     counts: RequestCounts,
     faults: FaultReport,
+    /// Per-interval outcome telemetry; allocated iff fault load attached.
+    telemetry: Option<FaultTelemetry>,
     clean_service_sum: f64,
     clean_batches: u64,
     batches: u64,
@@ -296,6 +300,9 @@ impl Sim<'_, '_> {
         let completion = now_ns + service_ns + if crashed { self.cfg.restart_ns } else { 0 };
         for (&seq, &o) in seqs.iter().zip(&outcomes) {
             self.counts.record(o);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record(completion, o);
+            }
             if o != RequestOutcome::Failed {
                 self.samples.push(completion - self.arrivals_ns[seq]);
             }
@@ -481,6 +488,7 @@ fn run_service_impl(
         samples: Vec::with_capacity(total),
         counts: RequestCounts::default(),
         faults: FaultReport::default(),
+        telemetry: cfg.faults.map(|_| FaultTelemetry::default()),
         clean_service_sum: 0.0,
         clean_batches: 0,
         batches: 0,
@@ -533,6 +541,7 @@ fn run_service_impl(
         batches: sim.batches,
         shards: sim.shards.into_iter().map(|s| s.stats).collect(),
         faults: cfg.faults.map(|_| sim.faults),
+        fault_telemetry: sim.telemetry.take(),
         // The DES serves saga sub-operations as independent requests
         // (joins are a runtime-layer concept), so nothing to suppress.
         suppressed_joins: 0,

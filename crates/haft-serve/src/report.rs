@@ -1,6 +1,8 @@
 //! Service-level measurement report.
 
-use haft_faults::RequestCounts;
+use std::collections::BTreeMap;
+
+use haft_faults::{RequestCounts, RequestOutcome};
 use haft_trace::MetricsSnapshot;
 
 use crate::latency::LatencyStats;
@@ -83,6 +85,125 @@ impl FaultReport {
     }
 }
 
+/// Width of one fault-telemetry interval: 1 ms of *virtual* time. Both
+/// serve modes bucket request completions on the virtual clock, so the
+/// telemetry is host-independent in either mode.
+pub const TELEMETRY_INTERVAL_NS: u64 = 1_000_000;
+
+/// Default smoothing factor for [`FaultTelemetry::fault_rate_ewma`].
+pub const TELEMETRY_EWMA_ALPHA: f64 = 0.2;
+
+/// Per-interval request-outcome counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalCounts {
+    /// Correct replies from undisturbed runs.
+    pub served: u64,
+    /// Correct replies that needed a recovery mechanism.
+    pub corrected: u64,
+    /// Silently corrupted replies delivered to clients.
+    pub sdc: u64,
+    /// Requests dropped with a failed batch.
+    pub failed: u64,
+}
+
+impl IntervalCounts {
+    pub fn total(&self) -> u64 {
+        self.served + self.corrected + self.sdc + self.failed
+    }
+
+    /// Requests visibly touched by a fault (everything but clean serves).
+    pub fn faulty(&self) -> u64 {
+        self.corrected + self.sdc + self.failed
+    }
+}
+
+/// Time-resolved fault telemetry: what an operator's dashboard would
+/// plot. Request completions are bucketed into fixed intervals of the
+/// *virtual* clock, so the same mechanism produces comparable numbers in
+/// the deterministic simulation and the real-thread runtime. Per-shard
+/// contributions merge order-independently (pure counter addition keyed
+/// by interval index), and the decayed fault-rate estimate is derived
+/// from the *merged* counters — never from a shard-local running state —
+/// which keeps it independent of thread scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultTelemetry {
+    /// Interval width, virtual nanoseconds.
+    pub interval_ns: u64,
+    /// Counters keyed by interval index (`completion_ns / interval_ns`).
+    pub intervals: BTreeMap<u64, IntervalCounts>,
+}
+
+impl Default for FaultTelemetry {
+    fn default() -> Self {
+        FaultTelemetry { interval_ns: TELEMETRY_INTERVAL_NS, intervals: BTreeMap::new() }
+    }
+}
+
+impl FaultTelemetry {
+    /// Buckets one request outcome at its virtual completion time.
+    pub fn record(&mut self, completion_ns: u64, o: RequestOutcome) {
+        let c = self.intervals.entry(completion_ns / self.interval_ns).or_default();
+        match o {
+            RequestOutcome::Served => c.served += 1,
+            RequestOutcome::ServedCorrected => c.corrected += 1,
+            RequestOutcome::Sdc => c.sdc += 1,
+            RequestOutcome::Failed => c.failed += 1,
+        }
+    }
+
+    /// Merges another shard's telemetry (commutative and associative).
+    pub fn merge(&mut self, other: &FaultTelemetry) {
+        assert_eq!(self.interval_ns, other.interval_ns, "telemetry interval mismatch");
+        for (idx, o) in &other.intervals {
+            let c = self.intervals.entry(*idx).or_default();
+            c.served += o.served;
+            c.corrected += o.corrected;
+            c.sdc += o.sdc;
+            c.failed += o.failed;
+        }
+    }
+
+    /// Exponentially-decayed fault-rate estimate (fraction of requests
+    /// per interval visibly touched by a fault), walked over the merged
+    /// counters in ascending interval order. Empty gap intervals count as
+    /// fault-free, so the estimate decays toward zero through quiet
+    /// stretches. Deterministic given the merged counters.
+    pub fn fault_rate_ewma(&self, alpha: f64) -> f64 {
+        let (Some(first), Some(last)) =
+            (self.intervals.keys().next(), self.intervals.keys().next_back())
+        else {
+            return 0.0;
+        };
+        let mut ewma: Option<f64> = None;
+        for idx in *first..=*last {
+            let x = match self.intervals.get(&idx) {
+                Some(c) if c.total() > 0 => c.faulty() as f64 / c.total() as f64,
+                _ => 0.0,
+            };
+            ewma = Some(match ewma {
+                None => x,
+                Some(e) => alpha * x + (1.0 - alpha) * e,
+            });
+        }
+        ewma.unwrap_or(0.0)
+    }
+
+    /// Worst single interval by faulty-request count.
+    pub fn peak_faulty(&self) -> u64 {
+        self.intervals.values().map(IntervalCounts::faulty).max().unwrap_or(0)
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "telemetry: {} interval(s), ewma fault rate {:.4}, peak faulty/interval {}",
+            self.intervals.len(),
+            self.fault_rate_ewma(TELEMETRY_EWMA_ALPHA),
+            self.peak_faulty()
+        )
+    }
+}
+
 /// Host wall-clock accounting, present only on reports produced by the
 /// real-thread runtime (`ServeMode::Native`, the `haft-runtime` crate).
 ///
@@ -144,6 +265,8 @@ pub struct ServiceReport {
     pub shards: Vec<ShardStats>,
     /// Present when the serve configuration attached fault injection.
     pub faults: Option<FaultReport>,
+    /// Time-resolved fault telemetry; present exactly when `faults` is.
+    pub fault_telemetry: Option<FaultTelemetry>,
     /// Saga joins whose latency sample was withheld because a sub-batch
     /// failed (the join still completes for flow control, but a latency
     /// measured against a lost reply would be fiction).
@@ -189,6 +312,11 @@ impl ServiceReport {
             m.set("serve.faults.crashed_batches", f.crashed_batches as f64);
             m.set("serve.faults.corrected_batches", f.corrected_batches as f64);
         }
+        if let Some(t) = &self.fault_telemetry {
+            m.set("serve.telemetry.intervals", t.intervals.len() as f64);
+            m.set("serve.telemetry.fault_rate_ewma", t.fault_rate_ewma(TELEMETRY_EWMA_ALPHA));
+            m.set("serve.telemetry.peak_faulty", t.peak_faulty() as f64);
+        }
         if let Some(w) = &self.wall {
             m.set("pool.workers", w.workers as f64);
             m.set("pool.steals", w.steals as f64);
@@ -219,6 +347,10 @@ impl ServiceReport {
         if let Some(f) = &self.faults {
             s.push_str("\n  faults: ");
             s.push_str(&f.summary());
+        }
+        if let Some(t) = &self.fault_telemetry {
+            s.push_str("\n  ");
+            s.push_str(&t.summary());
         }
         if let Some(w) = &self.wall {
             s.push_str("\n  ");

@@ -137,6 +137,30 @@ fn fault_campaign_under_load_accounts_every_request() {
     assert_eq!(r.latency.count, r.requests_served);
 }
 
+/// Fault telemetry buckets every request outcome on the virtual clock:
+/// interval totals sum back to the aggregate counts, the decayed
+/// fault-rate estimate is a valid fraction, the time-resolved map is
+/// deterministic, and fault-free runs carry no telemetry at all.
+#[test]
+fn fault_telemetry_intervals_sum_to_the_outcome_counts() {
+    let cfg = ServeConfig {
+        faults: Some(FaultLoad { rate_per_request: 0.08, seed: 0xD00F }),
+        ..base_cfg(400, 2)
+    };
+    let r = serve(HardenConfig::haft(), &cfg);
+    let t = r.fault_telemetry.as_ref().expect("telemetry attached with fault load");
+    let f = r.faults.as_ref().unwrap();
+    assert_eq!(t.intervals.values().map(|c| c.total()).sum::<u64>(), f.counts.total());
+    assert_eq!(t.intervals.values().map(|c| c.corrected).sum::<u64>(), f.counts.served_corrected);
+    assert_eq!(t.intervals.values().map(|c| c.sdc).sum::<u64>(), f.counts.sdc);
+    let ewma = t.fault_rate_ewma(haft_serve::report::TELEMETRY_EWMA_ALPHA);
+    assert!((0.0..=1.0).contains(&ewma), "ewma out of range: {ewma}");
+    let again = serve(HardenConfig::haft(), &cfg);
+    assert_eq!(again.fault_telemetry.as_ref(), Some(t));
+    let clean = serve(HardenConfig::haft(), &base_cfg(100, 2));
+    assert!(clean.fault_telemetry.is_none(), "no fault load, no telemetry");
+}
+
 /// HAFT recovers under load where native corrupts or dies: availability
 /// ranks hardened above native at the same fault rate, and HAFT's
 /// recovery shows up as corrected batches with a latency spike.

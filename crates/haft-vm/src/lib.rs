@@ -26,8 +26,8 @@ pub use cost::CostConfig;
 pub use fault::FaultPlan;
 pub use mem::{Memory, Trap};
 pub use vm::{
-    CycleProfile, Engine, FuseStats, PhaseCycles, ProfileCell, ProfileOpClass, RunOutcome,
-    RunResult, RunSpec, Vm, VmConfig,
+    CycleProfile, Engine, FaultDetector, FaultSite, Forensics, FuseStats, PhaseCycles, ProfileCell,
+    ProfileOpClass, RunOutcome, RunResult, RunSpec, Vm, VmConfig,
 };
 
 // The `haft-runtime` pool runs one VM per shard actor across OS threads,

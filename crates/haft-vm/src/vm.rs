@@ -76,6 +76,11 @@ pub struct VmConfig {
     /// Execution engine. `Fused` (the default) and `Interp` are
     /// bit-identical in every observable; see [`Engine`].
     pub engine: Engine,
+    /// Fault forensics: when a `fault` is also set, track the flip's
+    /// taint trajectory and report it on [`RunResult::forensics`].
+    /// Strictly observational — the `RunResult` core is bit-identical
+    /// with it on or off — and free on clean runs (no fault, no state).
+    pub forensics: bool,
 }
 
 impl Default for VmConfig {
@@ -94,6 +99,7 @@ impl Default for VmConfig {
             fault: None,
             adaptive_threshold: false,
             engine: Engine::Fused,
+            forensics: false,
         }
     }
 }
@@ -180,6 +186,9 @@ pub struct RunResult {
     pub corrected_by_vote: u64,
     /// Conditional-branch mispredictions (cost-model diagnostics).
     pub mispredicts: u64,
+    /// Flip→detection trajectory of the injected fault, present only
+    /// when [`VmConfig::forensics`] was set *and* the fault fired.
+    pub forensics: Option<Forensics>,
 }
 
 impl RunResult {
@@ -351,6 +360,10 @@ pub struct Vm<'m> {
     /// Cycle-attribution state when profiling is attached
     /// ([`Vm::run_profiled`]); same observational contract as `trace`.
     profiler: Option<Profiler>,
+    /// Taint-trajectory state, allocated only when `cfg.forensics` is
+    /// set *and* a fault plan is armed — clean runs pay one `None`
+    /// branch per instruction and nothing else.
+    forensics: Option<Box<forensics::ForensicsState>>,
 }
 
 impl<'m> Vm<'m> {
@@ -359,8 +372,11 @@ impl<'m> Vm<'m> {
         let mem = Memory::new(module, cfg.mem_bytes);
         let htm = Htm::new(cfg.htm.clone(), cfg.n_threads.max(1));
         let rng = Prng::new(cfg.seed);
-        let threads = (0..cfg.n_threads.max(1)).map(Thread::new).collect();
+        let n_threads = cfg.n_threads.max(1);
+        let threads = (0..n_threads).map(Thread::new).collect();
         let fault = cfg.fault;
+        let forensics = (cfg.forensics && fault.is_some())
+            .then(|| Box::new(forensics::ForensicsState::new(n_threads)));
         Vm {
             m: module,
             cfg,
@@ -385,6 +401,7 @@ impl<'m> Vm<'m> {
             arg_scratch: Vec::new(),
             trace: None,
             profiler: None,
+            forensics,
         }
     }
 
@@ -527,6 +544,7 @@ impl<'m> Vm<'m> {
     }
 
     fn finish(mut self, outcome: RunOutcome) -> RunResult {
+        let forensics = self.conclude_forensics(outcome);
         // Account an open transaction's cycles (e.g. stopped mid-tx).
         for t in &mut self.threads {
             if t.in_tx() {
@@ -551,6 +569,7 @@ impl<'m> Vm<'m> {
             recoveries: self.recoveries,
             corrected_by_vote: self.corrected_by_vote,
             mispredicts: self.mispredicts,
+            forensics,
         }
     }
 
@@ -588,6 +607,11 @@ impl<'m> Vm<'m> {
         t.last_poll_clock = 0;
         t.fovl.clear();
         t.store_done_fast.clear();
+        if let Some(fx) = self.forensics.as_deref_mut() {
+            // Phase boundary: the fresh frame stack invalidates this
+            // thread's positional register taint.
+            fx.purge_thread(tid);
+        }
     }
 
     fn run_serial(&mut self, name: &str, dc: Option<&decode::Decoded>) -> RunOutcome {
@@ -747,9 +771,15 @@ impl<'m> Vm<'m> {
         self.occ += 1;
         if let Some(plan) = self.fault {
             if self.occ - 1 == plan.occurrence {
+                let mask = plan.effective_mask(ty);
                 let frame = self.threads[tid].frames.last_mut().expect("live frame");
-                frame.regs[v.0 as usize] ^= plan.effective_mask(ty);
+                frame.regs[v.0 as usize] ^= mask;
                 self.fault = None;
+                if let Some(fx) = self.forensics.as_deref_mut() {
+                    let t = &self.threads[tid];
+                    let func = t.frames.last().expect("live frame").func;
+                    fx.seed(func, t.frames.len(), v.0, mask, plan.occurrence);
+                }
             }
         }
     }
@@ -818,6 +848,9 @@ impl<'m> Vm<'m> {
                     .lane(0, tid as u32),
             );
         }
+        if let Some(fx) = self.forensics.as_deref_mut() {
+            fx.on_commit(tid);
+        }
         Ok(())
     }
 
@@ -864,6 +897,12 @@ impl<'m> Vm<'m> {
         }
         let resume = t.sb.clock + penalty;
         t.sb.flush_to(resume);
+        if let Some(fx) = self.forensics.as_deref_mut() {
+            // Roll the shadow set back with the architectural state; if
+            // the rollback erased the last live corruption, the HTM
+            // recovered the fault.
+            fx.on_abort(tid, self.instructions, self.wall_cycles + t.sb.clock);
+        }
         t.retries += 1;
         if t.retries <= self.cfg.max_retries {
             // Retry transactionally from the snapshot point.
@@ -884,6 +923,18 @@ impl<'m> Vm<'m> {
     /// Handles `tx_abort` IR instructions (ILR detections).
     fn ilr_detect(&mut self, tid: usize) -> Flow {
         self.detections += 1;
+        if self.forensics.is_some() {
+            // On a single-fault run any ILR divergence *is* the injected
+            // fault (clean shadows never diverge): finalize here, before
+            // the rollback path mutates the shadow set.
+            let now = self.wall_cycles + self.threads[tid].sb.clock;
+            let insts = self.instructions;
+            self.forensics.as_deref_mut().unwrap().detect(
+                forensics::FaultDetector::Ilr,
+                insts,
+                now,
+            );
+        }
         if let Some(tr) = self.trace.as_mut() {
             let ts = self.wall_cycles + self.threads[tid].sb.clock;
             tr.push(TraceEvent::instant("vm", "ilr.detect", ts).lane(0, tid as u32));
@@ -999,6 +1050,11 @@ impl<'m> Vm<'m> {
         self.instructions += 1;
         if let Some(p) = self.profiler.as_mut() {
             p.fetch(tid, self.threads[tid].sb.clock, fid.0, OpClass::of_op(&inst.op));
+        }
+        if self.forensics.is_some() {
+            // Taint transfer runs *before* execution: control ops (Ret,
+            // Br) invalidate operand reads afterwards.
+            self.forensics_transfer_interp(tid, fid, bid, &inst.op, result);
         }
 
         let width = self.cfg.cost.width;
@@ -1360,6 +1416,15 @@ impl<'m> Vm<'m> {
                                         .lane(0, tid as u32),
                                 );
                             }
+                            if self.forensics.is_some() {
+                                let now = self.wall_cycles + self.threads[tid].sb.clock;
+                                let insts = self.instructions;
+                                self.forensics.as_deref_mut().unwrap().detect(
+                                    forensics::FaultDetector::Vote,
+                                    insts,
+                                    now,
+                                );
+                            }
                         }
                         let ready = ar.max(br).max(cr);
                         let done = self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_vote);
@@ -1412,6 +1477,12 @@ impl<'m> Vm<'m> {
             }
             Op::Nop => Flow::Continue,
         };
+
+        if self.forensics.is_some() {
+            // If this instruction's register write was the flip, the seed
+            // completes now that its op class and timing are known.
+            self.forensics_seed_complete(tid, OpClass::of_op(&inst.op));
+        }
 
         // A blocked lock acquisition must be retried: rewind the pc and
         // undo the instruction count.
@@ -1647,9 +1718,11 @@ fn eval_cast(kind: CastKind, from: Ty, to: Ty, a: u64) -> u64 {
 
 mod decode;
 mod engine;
+mod forensics;
 mod fuse;
 mod profile;
 
+pub use forensics::{FaultDetector, FaultSite, Forensics};
 pub use profile::{CycleProfile, OpClass as ProfileOpClass, ProfileCell};
 
 pub use fuse::FuseStats;

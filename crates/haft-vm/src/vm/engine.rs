@@ -28,6 +28,7 @@ use haft_ir::module::FuncId;
 use haft_ir::types::Ty;
 
 use super::decode::{DOp, Decoded, Edge, Src};
+use super::forensics::ForensicsState;
 use super::{
     eval_bin, eval_cast, eval_cmp, eval_un, Flow, Frame, RunOutcome, Thread, Vm, FUNC_BASE,
     MAX_CALL_DEPTH,
@@ -59,10 +60,12 @@ fn rd(fr: &Frame, s: Src) -> (u64, u64) {
 /// disjoint `Vm` fields it needs so the caller's thread borrow can stay
 /// live.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // each is a disjoint `Vm` field borrow
 fn wreg(
     t: &mut Thread,
     occ: &mut u64,
     fault: &mut Option<FaultPlan>,
+    fx: &mut Option<Box<ForensicsState>>,
     dst: u32,
     val: u64,
     ready: u64,
@@ -74,8 +77,13 @@ fn wreg(
     *occ += 1;
     if let Some(plan) = *fault {
         if *occ - 1 == plan.occurrence {
-            fr.regs[dst as usize] ^= plan.effective_mask(ty);
+            let mask = plan.effective_mask(ty);
+            fr.regs[dst as usize] ^= mask;
             *fault = None;
+            if let Some(fx) = fx.as_deref_mut() {
+                let func = fr.func;
+                fx.seed(func, t.frames.len(), dst, mask, plan.occurrence);
+            }
         }
     }
 }
@@ -111,8 +119,17 @@ impl<'m> Vm<'m> {
                     let class = super::profile::OpClass::of_dop(&df.code[pc]);
                     p.fetch(tid, self.threads[tid].sb.clock, fid as u32, class);
                 }
+                if self.forensics.is_some() {
+                    // Pre-execute taint transfer, mirroring `step`.
+                    self.forensics_transfer_fused(tid, &df.code[pc], d);
+                }
 
-                match self.exec_dop(tid, &df.code[pc], d) {
+                let ef = self.exec_dop(tid, &df.code[pc], d);
+                if self.forensics.is_some() {
+                    let class = super::profile::OpClass::of_dop(&df.code[pc]);
+                    self.forensics_seed_complete(tid, class);
+                }
+                match ef {
                     EFlow::Norm => {}
                     EFlow::Flow(Flow::Continue) => {}
                     EFlow::Flow(flow) => {
@@ -249,7 +266,7 @@ impl<'m> Vm<'m> {
             let mv = &d.moves[edge.moves_at as usize];
             let t = &mut self.threads[tid];
             let (v, r) = rd(t.frames.last().expect("live frame"), mv.src);
-            wreg(t, &mut self.occ, &mut self.fault, mv.dst, v, r, mv.ty);
+            wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, mv.dst, v, r, mv.ty);
             t.frames.last_mut().expect("live frame").idx = edge.target as usize;
         } else if edge.moves_n > 0 {
             let mut scratch = std::mem::take(&mut self.phi_scratch);
@@ -263,7 +280,7 @@ impl<'m> Vm<'m> {
                 scratch.push((mv.dst, v, r, mv.ty));
             }
             for &(dst, v, r, ty) in &scratch {
-                wreg(t, &mut self.occ, &mut self.fault, dst, v, r, ty);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, r, ty);
             }
             t.frames.last_mut().expect("live frame").idx = edge.target as usize;
             self.phi_scratch = scratch;
@@ -286,7 +303,16 @@ impl<'m> Vm<'m> {
                 match eval_bin(op, ty, av, bv) {
                     Ok(v) => {
                         let done = t.sb.issue(width, ar.max(br), lat);
-                        wreg(t, &mut self.occ, &mut self.fault, dst, v, done, ty);
+                        wreg(
+                            t,
+                            &mut self.occ,
+                            &mut self.fault,
+                            &mut self.forensics,
+                            dst,
+                            v,
+                            done,
+                            ty,
+                        );
                         EFlow::Norm
                     }
                     Err(trap) => EFlow::Flow(self.trap(tid, trap)),
@@ -297,7 +323,7 @@ impl<'m> Vm<'m> {
                 let (av, ar) = rd(t.frames.last().expect("live frame"), a);
                 let v = eval_un(op, ty, av);
                 let done = t.sb.issue(width, ar, lat);
-                wreg(t, &mut self.occ, &mut self.fault, dst, v, done, ty);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, done, ty);
                 EFlow::Norm
             }
             DOp::Cmp { op, ty, a, b, dst } => {
@@ -307,14 +333,14 @@ impl<'m> Vm<'m> {
                 let (bv, br) = rd(fr, b);
                 let v = eval_cmp(op, ty, av, bv) as u64;
                 let done = t.sb.issue(width, ar.max(br), self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, v, done, Ty::I1);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, done, Ty::I1);
                 EFlow::Norm
             }
             DOp::MoveV { ty, a, dst } => {
                 let t = &mut self.threads[tid];
                 let (av, ar) = rd(t.frames.last().expect("live frame"), a);
                 let done = t.sb.issue(width, ar, self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, av, done, ty);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, av, done, ty);
                 EFlow::Norm
             }
             DOp::Cast { kind, from, to, a, dst } => {
@@ -322,7 +348,7 @@ impl<'m> Vm<'m> {
                 let (av, ar) = rd(t.frames.last().expect("live frame"), a);
                 let v = eval_cast(kind, from, to, av);
                 let done = t.sb.issue(width, ar, self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, v, done, to);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, done, to);
                 EFlow::Norm
             }
             DOp::Select { ty, c, t, f, dst } => {
@@ -333,7 +359,7 @@ impl<'m> Vm<'m> {
                 let (fv, fr2) = rd(fr, f);
                 let v = if cv & 1 != 0 { tv } else { fv };
                 let done = th.sb.issue(width, cr.max(tr).max(fr2), self.cfg.cost.lat_int);
-                wreg(th, &mut self.occ, &mut self.fault, dst, v, done, ty);
+                wreg(th, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, done, ty);
                 EFlow::Norm
             }
             DOp::Gep { base, index, scale, offset, dst } => {
@@ -344,7 +370,7 @@ impl<'m> Vm<'m> {
                 let v =
                     bv.wrapping_add((iv as i64).wrapping_mul(scale) as u64).wrapping_add(offset);
                 let done = t.sb.issue(width, br.max(ir), self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, v, done, Ty::Ptr);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, v, done, Ty::Ptr);
                 EFlow::Norm
             }
             DOp::TrapMalformed => EFlow::Flow(self.trap(tid, Trap::MalformedIr)),
@@ -366,7 +392,16 @@ impl<'m> Vm<'m> {
                         let dep = self.mem_ready_f(tid, av, len);
                         let t = &mut self.threads[tid];
                         let done = t.sb.issue(width, ar.max(dep), lat);
-                        wreg(t, &mut self.occ, &mut self.fault, dst, v, done, ty);
+                        wreg(
+                            t,
+                            &mut self.occ,
+                            &mut self.fault,
+                            &mut self.forensics,
+                            dst,
+                            v,
+                            done,
+                            ty,
+                        );
                         EFlow::Norm
                     }
                     Err(trap) => EFlow::Flow(self.trap(tid, trap)),
@@ -412,7 +447,16 @@ impl<'m> Vm<'m> {
                                 );
                                 self.note_store_f(tid, av, len, done);
                                 let t = &mut self.threads[tid];
-                                wreg(t, &mut self.occ, &mut self.fault, dst, old, done, ty);
+                                wreg(
+                                    t,
+                                    &mut self.occ,
+                                    &mut self.fault,
+                                    &mut self.forensics,
+                                    dst,
+                                    old,
+                                    done,
+                                    ty,
+                                );
                                 EFlow::Norm
                             }
                             Err(trap) => EFlow::Flow(self.trap(tid, trap)),
@@ -440,7 +484,16 @@ impl<'m> Vm<'m> {
                                 let done = t.sb.issue(width, ready, self.cfg.cost.lat_atomic);
                                 self.note_store_f(tid, av, len, done);
                                 let t = &mut self.threads[tid];
-                                wreg(t, &mut self.occ, &mut self.fault, dst, old, done, ty);
+                                wreg(
+                                    t,
+                                    &mut self.occ,
+                                    &mut self.fault,
+                                    &mut self.forensics,
+                                    dst,
+                                    old,
+                                    done,
+                                    ty,
+                                );
                                 EFlow::Norm
                             }
                             Err(trap) => EFlow::Flow(self.trap(tid, trap)),
@@ -455,7 +508,16 @@ impl<'m> Vm<'m> {
                     Ok(base) => {
                         let t = &mut self.threads[tid];
                         let done = t.sb.issue(width, sr, self.cfg.cost.lat_alloc);
-                        wreg(t, &mut self.occ, &mut self.fault, dst, base, done, Ty::Ptr);
+                        wreg(
+                            t,
+                            &mut self.occ,
+                            &mut self.fault,
+                            &mut self.forensics,
+                            dst,
+                            base,
+                            done,
+                            Ty::Ptr,
+                        );
                         EFlow::Norm
                     }
                     Err(trap) => EFlow::Flow(self.trap(tid, trap)),
@@ -520,7 +582,16 @@ impl<'m> Vm<'m> {
                 }
                 if let (Some(dst), Some((v, _))) = (frame.return_to, rv) {
                     let ty = d.funcs[frame.func.0 as usize].ret_ty;
-                    wreg(t, &mut self.occ, &mut self.fault, dst.0, v, done, ty);
+                    wreg(
+                        t,
+                        &mut self.occ,
+                        &mut self.fault,
+                        &mut self.forensics,
+                        dst.0,
+                        v,
+                        done,
+                        ty,
+                    );
                 }
                 // Donate the retired register window back to the pool.
                 self.pool.push((frame.regs, frame.ready));
@@ -627,6 +698,15 @@ impl<'m> Vm<'m> {
                                     .lane(0, tid as u32),
                                 );
                             }
+                            if let Some(fx) = self.forensics.as_deref_mut() {
+                                // Same pre-issue timestamp as the
+                                // interpreter's vote hook.
+                                fx.detect(
+                                    super::forensics::FaultDetector::Vote,
+                                    self.instructions,
+                                    self.wall_cycles + t.sb.clock,
+                                );
+                            }
                         }
                         let done = t.sb.issue(width, ar.max(br).max(cr), self.cfg.cost.lat_vote);
                         // Forwarded write: not part of the fault-injection
@@ -662,14 +742,23 @@ impl<'m> Vm<'m> {
             DOp::ThreadIdD { dst } => {
                 let t = &mut self.threads[tid];
                 let done = t.sb.issue(width, 0, self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, tid as u64, done, Ty::I64);
+                wreg(
+                    t,
+                    &mut self.occ,
+                    &mut self.fault,
+                    &mut self.forensics,
+                    dst,
+                    tid as u64,
+                    done,
+                    Ty::I64,
+                );
                 EFlow::Norm
             }
             DOp::NumThreadsD { dst } => {
                 let n = self.cfg.n_threads.max(1) as u64;
                 let t = &mut self.threads[tid];
                 let done = t.sb.issue(width, 0, self.cfg.cost.lat_int);
-                wreg(t, &mut self.occ, &mut self.fault, dst, n, done, Ty::I64);
+                wreg(t, &mut self.occ, &mut self.fault, &mut self.forensics, dst, n, done, Ty::I64);
                 EFlow::Norm
             }
             DOp::Nop => EFlow::Norm,

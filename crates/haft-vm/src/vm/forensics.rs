@@ -1,0 +1,832 @@
+//! Fault forensics: the flip→detection trajectory of an injected fault.
+//!
+//! A campaign outcome label (Table 1) says *how a fault ended*; forensics
+//! measures the window of vulnerability in between — the HAFT claim that
+//! ILR detects *before* corruption escapes and HTM rolls it back is a
+//! claim about this window. When a [`crate::FaultPlan`] fires, the VM
+//! starts a positional taint track: the flipped register seeds a shadow
+//! set keyed by `(thread, call depth, register slot)` plus per-byte
+//! memory keys, and every subsequent instruction applies a conservative
+//! transfer function *before* it executes. Tracking ends when
+//!
+//! - the taint set drains (every corrupted value was overwritten:
+//!   [`FaultDetector::Masked`], or never read at all:
+//!   [`FaultDetector::MaskedAtSite`]),
+//! - a detector fires (ILR check, majority vote, HTM rollback, OS trap),
+//!   or
+//! - corruption externalizes ([`FaultDetector::Escaped`]).
+//!
+//! Zero cost when off: the state is an `Option<Box<..>>` allocated only
+//! when `cfg.forensics` is set *and* a fault plan is present, so clean
+//! runs pay exactly one `None` branch per instruction and fault-free
+//! results are bit-identical with the flag unused. Both engines drive
+//! the same transfer rules over engine-invariant keys (a fused `Slot`
+//! index equals the interpreter's `ValueId`), so forensics, like every
+//! other observable, is pinned identical across `Interp` and `Fused`.
+//!
+//! Attribution limits (also in ARCHITECTURE.md): control-flow divergence
+//! caused by a tainted branch condition is recorded as a sticky flag —
+//! data written on the wrong path is *not* tainted, so a drained taint
+//! set under tainted control is never reported as masked; the flag is
+//! conservative across rollbacks. Memory taint at commit time
+//! over-approximates `escaped_to_memory` (buffered bytes may still be
+//! overwritten later). Cross-thread propagation is tracked through
+//! memory only.
+
+use std::collections::HashSet;
+
+use haft_ir::function::{BlockId, Function, ValueId};
+use haft_ir::inst::{Callee, Op, Operand};
+use haft_ir::module::FuncId;
+use haft_trace::TraceEvent;
+
+use super::decode::{DOp, Decoded, Src};
+use super::profile::OpClass;
+use super::{Frame, RunOutcome, Vm, FUNC_BASE, MAX_CALL_DEPTH};
+use crate::mem::Memory;
+
+/// Which mechanism closed (or failed to close) the window of
+/// vulnerability. Ordered roughly best to worst.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultDetector {
+    /// The flipped register has no static reader: masked at the site
+    /// itself, latency zero by definition.
+    MaskedAtSite,
+    /// Every tainted value was overwritten before any use escaped.
+    Masked,
+    /// An ILR check (or an unrecoverable 3-way vote divergence) fired.
+    Ilr,
+    /// A majority vote found the divergent copy and masked it in place.
+    Vote,
+    /// A transactional rollback erased all remaining corruption.
+    HtmAbort,
+    /// The OS terminated the program (wild access, div-by-zero, ...).
+    Trap,
+    /// The instruction budget ran out while corruption was still live.
+    Hang,
+    /// Corruption reached program output (or was still live at exit).
+    Escaped,
+}
+
+impl FaultDetector {
+    /// Every detector, in declaration order (histogram iteration).
+    pub const ALL: [FaultDetector; 8] = [
+        FaultDetector::MaskedAtSite,
+        FaultDetector::Masked,
+        FaultDetector::Ilr,
+        FaultDetector::Vote,
+        FaultDetector::HtmAbort,
+        FaultDetector::Trap,
+        FaultDetector::Hang,
+        FaultDetector::Escaped,
+    ];
+
+    /// Stable name used in metrics (`faults.detect_latency.<label>.*`)
+    /// and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultDetector::MaskedAtSite => "masked-at-site",
+            FaultDetector::Masked => "masked",
+            FaultDetector::Ilr => "ilr",
+            FaultDetector::Vote => "vote",
+            FaultDetector::HtmAbort => "htm-abort",
+            FaultDetector::Trap => "trap",
+            FaultDetector::Hang => "hang",
+            FaultDetector::Escaped => "escaped",
+        }
+    }
+}
+
+/// Where an injected flip landed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Name of the function whose register was flipped.
+    pub func: String,
+    /// Coarse op class of the faulted instruction (profile names).
+    pub op_class: &'static str,
+    /// The dynamic register-write occurrence that was flipped.
+    pub occurrence: u64,
+    /// The XOR mask *actually* applied — after type truncation and the
+    /// forced-single-bit fallback, not the raw `FaultPlan::xor_mask`.
+    pub applied_mask: u64,
+}
+
+/// Per-injection trajectory measurements, carried on
+/// [`super::RunResult::forensics`] when the run had `cfg.forensics` set
+/// and the fault actually fired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forensics {
+    pub site: FaultSite,
+    /// What ended the tracking window.
+    pub detector: FaultDetector,
+    /// Dynamic instructions from the flip to detection/masking. Zero if
+    /// and only if the flip was masked at the site itself.
+    pub detect_latency_insts: u64,
+    /// Scoreboard cycles over the same window.
+    pub detect_latency_cycles: u64,
+    /// Peak simultaneous size of the taint set (registers + memory
+    /// bytes): how wide the corruption spread before the window closed.
+    pub propagation_width: u64,
+    /// A tainted value reached committed memory (store outside a
+    /// transaction, or a commit while memory bytes were tainted).
+    pub escaped_to_memory: bool,
+}
+
+/// Shadow-set key. Register keys are positional — `(thread, call depth,
+/// slot)` — which is engine-invariant: the fused engine's flat slot index
+/// is the interpreter's `ValueId` by construction (see `decode::lower`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TaintKey {
+    Reg { tid: u32, depth: u32, slot: u32 },
+    Mem { addr: u64 },
+}
+
+/// Tracking phases. `Pending` exists because the flip happens *inside*
+/// an instruction (at its register write) but the site's op class and
+/// the dead-use scan need the instruction as a whole — the seed
+/// completes in the post-execute hook of the same step.
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Fault armed, not fired yet.
+    Idle,
+    /// Flip applied this instruction; site attribution incomplete.
+    Pending { func: FuncId, depth: u32, slot: u32, mask: u64, occurrence: u64 },
+    /// Shadow set live.
+    Tracking,
+    /// Window closed; measurements frozen.
+    Done,
+}
+
+/// The in-flight forensics state of one fault run.
+pub(super) struct ForensicsState {
+    phase: Phase,
+    site_func: FuncId,
+    site_class: OpClass,
+    occurrence: u64,
+    applied_mask: u64,
+    /// `Vm::instructions` / absolute virtual time at the flip.
+    seed_insts: u64,
+    seed_cycles: u64,
+    taint: HashSet<TaintKey>,
+    /// Per-thread transactional undo log: `(key, was_present)` for every
+    /// shadow-set mutation made while that thread was transactional. An
+    /// abort replays its log in reverse so the shadow set rolls back
+    /// exactly with the architectural state it mirrors.
+    undo: Vec<Vec<(TaintKey, bool)>>,
+    peak: u64,
+    /// A tainted value decided a branch (or an indirect call target):
+    /// control flow may have diverged, so a drained taint set no longer
+    /// proves masking. Sticky, conservatively even across rollbacks.
+    control_tainted: bool,
+    escaped_to_memory: bool,
+    detector: FaultDetector,
+    latency_insts: u64,
+    latency_cycles: u64,
+}
+
+impl ForensicsState {
+    pub(super) fn new(n_threads: usize) -> Self {
+        ForensicsState {
+            phase: Phase::Idle,
+            site_func: FuncId(0),
+            site_class: OpClass::Other,
+            occurrence: 0,
+            applied_mask: 0,
+            seed_insts: 0,
+            seed_cycles: 0,
+            taint: HashSet::new(),
+            undo: vec![Vec::new(); n_threads],
+            peak: 0,
+            control_tainted: false,
+            escaped_to_memory: false,
+            detector: FaultDetector::Masked,
+            latency_insts: 0,
+            latency_cycles: 0,
+        }
+    }
+
+    /// Fault hook: the flip was just applied to `slot` of the live frame.
+    /// Records the positional seed; op class and counters complete in the
+    /// post-execute hook ([`Vm::forensics_seed_complete`]).
+    pub(super) fn seed(&mut self, func: FuncId, depth: usize, slot: u32, mask: u64, occ: u64) {
+        if matches!(self.phase, Phase::Idle) {
+            self.phase = Phase::Pending { func, depth: depth as u32, slot, mask, occurrence: occ };
+        }
+    }
+
+    fn tracking(&self) -> bool {
+        matches!(self.phase, Phase::Tracking)
+    }
+
+    /// Freezes the measurements. Any detector other than masked-at-site
+    /// fires at an instruction *after* the seed (the flip's own
+    /// instruction cannot also detect it — vote results are outside the
+    /// fault stream), so its latency is at least one; the clamp makes
+    /// `detect_latency_insts == 0 ⇔ MaskedAtSite` hold by construction
+    /// even for the budget-exhausted-at-the-seed corner.
+    fn done(&mut self, det: FaultDetector, insts_now: u64, cycles_now: u64) {
+        self.phase = Phase::Done;
+        self.detector = det;
+        let insts = insts_now.saturating_sub(self.seed_insts);
+        self.latency_insts = if det == FaultDetector::MaskedAtSite { 0 } else { insts.max(1) };
+        self.latency_cycles = cycles_now.saturating_sub(self.seed_cycles);
+    }
+
+    /// Detection hook: on a single-fault run, *any* correction or
+    /// detection event is caused by the injected fault (clean runs never
+    /// diverge), so no taint-relevance check is needed.
+    pub(super) fn detect(&mut self, det: FaultDetector, insts_now: u64, cycles_now: u64) {
+        if self.tracking() {
+            self.done(det, insts_now, cycles_now);
+        }
+    }
+
+    /// Masked-by-drain check: the set is empty *and* no undo log could
+    /// resurrect a key on a future abort.
+    fn try_drain(&mut self, insts_now: u64, cycles_now: u64) {
+        if self.tracking()
+            && self.taint.is_empty()
+            && !self.control_tainted
+            && self.undo.iter().all(|u| u.is_empty())
+        {
+            self.done(FaultDetector::Masked, insts_now, cycles_now);
+        }
+    }
+
+    fn taint_insert(&mut self, tid: usize, in_tx: bool, key: TaintKey) {
+        if self.taint.insert(key) {
+            if in_tx {
+                self.undo[tid].push((key, false));
+            }
+            self.peak = self.peak.max(self.taint.len() as u64);
+        }
+    }
+
+    fn taint_remove(&mut self, tid: usize, in_tx: bool, key: TaintKey) {
+        if self.taint.remove(&key) && in_tx {
+            self.undo[tid].push((key, true));
+        }
+    }
+
+    fn reg_tainted(&self, tid: usize, depth: u32, slot: u32) -> bool {
+        self.taint.contains(&TaintKey::Reg { tid: tid as u32, depth, slot })
+    }
+
+    fn set_reg(&mut self, tid: usize, in_tx: bool, depth: u32, slot: u32, tainted: bool) {
+        let key = TaintKey::Reg { tid: tid as u32, depth, slot };
+        if tainted {
+            self.taint_insert(tid, in_tx, key);
+        } else {
+            self.taint_remove(tid, in_tx, key);
+        }
+    }
+
+    fn mem_tainted(&self, addr: u64, len: u32) -> bool {
+        (0..len as u64).any(|i| self.taint.contains(&TaintKey::Mem { addr: addr.wrapping_add(i) }))
+    }
+
+    fn set_mem(&mut self, tid: usize, in_tx: bool, addr: u64, len: u32, tainted: bool) {
+        for i in 0..len as u64 {
+            let key = TaintKey::Mem { addr: addr.wrapping_add(i) };
+            if tainted {
+                self.taint_insert(tid, in_tx, key);
+            } else {
+                self.taint_remove(tid, in_tx, key);
+            }
+        }
+        if tainted && !in_tx {
+            self.escaped_to_memory = true;
+        }
+    }
+
+    /// `Ret` transfer: the popping frame's registers cease to exist.
+    fn purge_depth(&mut self, tid: usize, in_tx: bool, depth: u32) {
+        let dead: Vec<TaintKey> = self
+            .taint
+            .iter()
+            .copied()
+            .filter(|k| {
+                matches!(k, TaintKey::Reg { tid: t, depth: d, .. }
+                if *t == tid as u32 && *d == depth)
+            })
+            .collect();
+        for key in dead {
+            self.taint_remove(tid, in_tx, key);
+        }
+    }
+
+    /// Phase boundary: the thread gets a fresh frame stack (and is never
+    /// transactional here), so its register taint and undo log are moot.
+    /// Memory taint persists across phases.
+    pub(super) fn purge_thread(&mut self, tid: usize) {
+        self.taint.retain(|k| !matches!(k, TaintKey::Reg { tid: t, .. } if *t == tid as u32));
+        self.undo[tid].clear();
+    }
+
+    /// Commit hook: the thread's speculative state became architectural.
+    pub(super) fn on_commit(&mut self, tid: usize) {
+        if !self.tracking() {
+            return;
+        }
+        self.undo[tid].clear();
+        if self.taint.iter().any(|k| matches!(k, TaintKey::Mem { .. })) {
+            self.escaped_to_memory = true;
+        }
+    }
+
+    /// Abort hook, after the architectural rollback: replays the
+    /// thread's undo log in reverse, then — if the rollback erased the
+    /// last live corruption — credits the HTM with the recovery.
+    pub(super) fn on_abort(&mut self, tid: usize, insts_now: u64, cycles_now: u64) {
+        if !self.tracking() {
+            return;
+        }
+        let log: Vec<(TaintKey, bool)> = self.undo[tid].drain(..).collect();
+        for (key, was_present) in log.into_iter().rev() {
+            if was_present {
+                self.taint.insert(key);
+            } else {
+                self.taint.remove(&key);
+            }
+        }
+        if self.taint.is_empty() && !self.control_tainted && self.undo.iter().all(|u| u.is_empty())
+        {
+            self.done(FaultDetector::HtmAbort, insts_now, cycles_now);
+        }
+    }
+}
+
+/// Operand value against a frame (mirror of `Vm::operand`, value only).
+fn op_val(frame: &Frame, mem: &Memory, o: &Operand) -> u64 {
+    match o {
+        Operand::Value(v) => frame.regs[v.0 as usize],
+        Operand::Imm(v, ty) => (*v as u64) & ty.mask(),
+        Operand::F64Bits(b) => *b,
+        Operand::GlobalAddr(g) => mem.global_bases[g.0 as usize],
+        Operand::FuncAddr(f) => FUNC_BASE + f.0 as u64,
+    }
+}
+
+/// Decoded-operand value against a frame (mirror of `engine::rd`).
+fn src_val(frame: &Frame, s: Src) -> u64 {
+    match s {
+        Src::Slot(i) => frame.regs[i as usize],
+        Src::Const(v) => v,
+    }
+}
+
+impl<'m> Vm<'m> {
+    /// Pre-execute taint transfer, interpreter side. Runs before the op
+    /// executes because control ops (Ret, Br) invalidate operand reads
+    /// afterwards; the transfer models the writes the op is about to
+    /// perform. The fused twin is [`Vm::forensics_transfer_fused`] —
+    /// the two must stay rule-for-rule identical.
+    pub(super) fn forensics_transfer_interp(
+        &mut self,
+        tid: usize,
+        fid: FuncId,
+        bid: BlockId,
+        op: &Op,
+        result: Option<ValueId>,
+    ) {
+        let Some(fx) = self.forensics.as_deref_mut() else { return };
+        if !fx.tracking() {
+            return;
+        }
+        let t = &self.threads[tid];
+        let frame = t.frames.last().expect("live frame");
+        let depth = t.frames.len() as u32;
+        let in_tx = t.in_tx();
+        let mem = &self.mem;
+        let opt = |fx: &ForensicsState, o: &Operand| match o.as_value() {
+            Some(v) => fx.reg_tainted(tid, depth, v.0),
+            None => false,
+        };
+        match op {
+            // Pure ops: destination tainted iff any register source is
+            // (a clean result overwrites — and thus clears — the slot).
+            Op::Bin { .. }
+            | Op::Un { .. }
+            | Op::Cmp { .. }
+            | Op::Move { .. }
+            | Op::Cast { .. }
+            | Op::Select { .. }
+            | Op::Gep { .. }
+            | Op::ThreadId
+            | Op::NumThreads => {
+                let mut any = false;
+                op.for_each_operand(|o| any |= opt(fx, o));
+                fx.set_reg(tid, in_tx, depth, result.expect("pure op has result").0, any);
+            }
+            Op::Alloc { size } => {
+                let any = opt(fx, size);
+                fx.set_reg(tid, in_tx, depth, result.expect("alloc has result").0, any);
+            }
+            Op::Load { ty, addr, .. } => {
+                let av = op_val(frame, mem, addr);
+                let any = opt(fx, addr) || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, result.expect("load has result").0, any);
+            }
+            Op::Store { ty, val, addr, .. } => {
+                // A tainted address corrupts wherever the store lands; a
+                // tainted value corrupts the addressed bytes.
+                let any = opt(fx, val) || opt(fx, addr);
+                let av = op_val(frame, mem, addr);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            Op::Rmw { ty, addr, val, .. } => {
+                let av = op_val(frame, mem, addr);
+                let any = opt(fx, addr) || opt(fx, val) || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, result.expect("rmw has result").0, any);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            Op::CmpXchg { ty, addr, expected, new } => {
+                let av = op_val(frame, mem, addr);
+                let any = opt(fx, addr)
+                    || opt(fx, expected)
+                    || opt(fx, new)
+                    || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, result.expect("cmpxchg has result").0, any);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            Op::Br { dest } => {
+                phi_taint_interp(fx, tid, in_tx, depth, self.m.func(fid), bid, *dest);
+            }
+            Op::CondBr { cond, t: tb, f: fb } => {
+                if opt(fx, cond) {
+                    fx.control_tainted = true;
+                }
+                let taken = op_val(frame, mem, cond) & 1 != 0;
+                let dest = if taken { *tb } else { *fb };
+                phi_taint_interp(fx, tid, in_tx, depth, self.m.func(fid), bid, dest);
+            }
+            Op::Call { callee, args, .. } => {
+                let target = match callee {
+                    Callee::Direct(f) => Some(*f),
+                    Callee::Indirect(o) => {
+                        if opt(fx, o) {
+                            fx.control_tainted = true;
+                        }
+                        let v = op_val(frame, mem, o);
+                        let idx = v.wrapping_sub(FUNC_BASE);
+                        if v >= FUNC_BASE && (idx as usize) < self.m.funcs.len() {
+                            Some(FuncId(idx as u32))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                // Mirror the trap guards: a call that traps creates no
+                // frame, so no taint may flow to depth + 1.
+                let Some(target) = target else { return };
+                if t.frames.len() >= MAX_CALL_DEPTH
+                    || self.m.func(target).params.len() != args.len()
+                {
+                    return;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let at = opt(fx, a);
+                    fx.set_reg(tid, in_tx, depth + 1, i as u32, at);
+                }
+            }
+            Op::Ret { val } => {
+                let rt = val.as_ref().map(|o| opt(fx, o)).unwrap_or(false);
+                fx.purge_depth(tid, in_tx, depth);
+                if t.frames.len() > 1 {
+                    if let (Some(dst), Some(_)) = (frame.return_to, val) {
+                        fx.set_reg(tid, in_tx, depth - 1, dst.0, rt);
+                    }
+                }
+            }
+            Op::Vote { a, b, c, .. } => {
+                // Two-of-three majority masks a single tainted copy: the
+                // result is corrupt only if at least two inputs are.
+                let n = [a, b, c].into_iter().filter(|o| opt(fx, o)).count();
+                fx.set_reg(tid, in_tx, depth, result.expect("vote has result").0, n >= 2);
+            }
+            Op::Emit { val, .. } => {
+                // Externalizing a tainted value outside a transaction is
+                // the definitive escape. Inside one, the emit aborts
+                // first and re-runs non-transactionally.
+                if !in_tx && opt(fx, val) {
+                    let now = self.wall_cycles + t.sb.clock;
+                    fx.detect(FaultDetector::Escaped, self.instructions, now);
+                }
+            }
+            Op::Phi { .. }
+            | Op::TxBegin
+            | Op::TxEnd
+            | Op::TxCondSplit
+            | Op::TxCounterInc { .. }
+            | Op::TxAbort { .. }
+            | Op::Lock { .. }
+            | Op::Unlock { .. }
+            | Op::Nop => {}
+        }
+        fx.try_drain(self.instructions, self.wall_cycles + t.sb.clock);
+    }
+
+    /// Pre-execute taint transfer, fused side — rule-for-rule the twin
+    /// of [`Vm::forensics_transfer_interp`] over decoded operands.
+    pub(super) fn forensics_transfer_fused(&mut self, tid: usize, op: &DOp, d: &Decoded) {
+        let Some(fx) = self.forensics.as_deref_mut() else { return };
+        if !fx.tracking() {
+            return;
+        }
+        let t = &self.threads[tid];
+        let frame = t.frames.last().expect("live frame");
+        let depth = t.frames.len() as u32;
+        let in_tx = t.in_tx();
+        let st = |fx: &ForensicsState, s: Src| match s {
+            Src::Slot(i) => fx.reg_tainted(tid, depth, i),
+            Src::Const(_) => false,
+        };
+        match *op {
+            DOp::Bin { a, b, dst, .. } | DOp::Cmp { a, b, dst, .. } => {
+                let any = st(fx, a) || st(fx, b);
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::Un { a, dst, .. } | DOp::MoveV { a, dst, .. } | DOp::Cast { a, dst, .. } => {
+                let any = st(fx, a);
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::Select { c, t: tv, f: fv, dst, .. } => {
+                let any = st(fx, c) || st(fx, tv) || st(fx, fv);
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::Gep { base, index, dst, .. } => {
+                let any = st(fx, base) || st(fx, index);
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::ThreadIdD { dst } | DOp::NumThreadsD { dst } => {
+                fx.set_reg(tid, in_tx, depth, dst, false);
+            }
+            DOp::Alloc { size, dst } => {
+                let any = st(fx, size);
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::Load { ty, addr, dst, .. } => {
+                let av = src_val(frame, addr);
+                let any = st(fx, addr) || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, dst, any);
+            }
+            DOp::Store { ty, val, addr, .. } => {
+                let any = st(fx, val) || st(fx, addr);
+                let av = src_val(frame, addr);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            DOp::Rmw { ty, addr, val, dst, .. } => {
+                let av = src_val(frame, addr);
+                let any = st(fx, addr) || st(fx, val) || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, dst, any);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            DOp::CmpXchg { ty, addr, expected, new, dst } => {
+                let av = src_val(frame, addr);
+                let any = st(fx, addr)
+                    || st(fx, expected)
+                    || st(fx, new)
+                    || fx.mem_tainted(av, ty.size_bytes());
+                fx.set_reg(tid, in_tx, depth, dst, any);
+                fx.set_mem(tid, in_tx, av, ty.size_bytes(), any);
+            }
+            DOp::Br { edge } => {
+                phi_taint_fused(fx, tid, in_tx, depth, d, edge);
+            }
+            DOp::CondBr { cond, t: te, f: fe, .. } => {
+                if st(fx, cond) {
+                    fx.control_tainted = true;
+                }
+                let taken = src_val(frame, cond) & 1 != 0;
+                phi_taint_fused(fx, tid, in_tx, depth, d, if taken { te } else { fe });
+            }
+            DOp::CallDirect { target, args_at, args_n, arity_ok, .. } => {
+                if t.frames.len() >= MAX_CALL_DEPTH || !arity_ok {
+                    return;
+                }
+                let _ = target;
+                for (i, s) in
+                    d.args[args_at as usize..(args_at + args_n) as usize].iter().enumerate()
+                {
+                    let at = st(fx, *s);
+                    fx.set_reg(tid, in_tx, depth + 1, i as u32, at);
+                }
+            }
+            DOp::CallInd { callee, args_at, args_n, .. } => {
+                if st(fx, callee) {
+                    fx.control_tainted = true;
+                }
+                let v = src_val(frame, callee);
+                let idx = v.wrapping_sub(FUNC_BASE);
+                if v < FUNC_BASE
+                    || (idx as usize) >= d.funcs.len()
+                    || t.frames.len() >= MAX_CALL_DEPTH
+                    || d.funcs[idx as usize].n_params != args_n as usize
+                {
+                    return;
+                }
+                for (i, s) in
+                    d.args[args_at as usize..(args_at + args_n) as usize].iter().enumerate()
+                {
+                    let at = st(fx, *s);
+                    fx.set_reg(tid, in_tx, depth + 1, i as u32, at);
+                }
+            }
+            DOp::Ret { val } => {
+                let rt = val.map(|s| st(fx, s)).unwrap_or(false);
+                fx.purge_depth(tid, in_tx, depth);
+                if t.frames.len() > 1 {
+                    if let (Some(dst), Some(_)) = (frame.return_to, val) {
+                        fx.set_reg(tid, in_tx, depth - 1, dst.0, rt);
+                    }
+                }
+            }
+            DOp::Vote { a, b, c, dst, .. } => {
+                let n = [a, b, c].into_iter().filter(|s| st(fx, *s)).count();
+                fx.set_reg(tid, in_tx, depth, dst, n >= 2);
+            }
+            DOp::Emit { val } => {
+                if !in_tx && st(fx, val) {
+                    let now = self.wall_cycles + t.sb.clock;
+                    fx.detect(FaultDetector::Escaped, self.instructions, now);
+                }
+            }
+            DOp::TxBegin
+            | DOp::TxEnd
+            | DOp::TxCondSplit
+            | DOp::TxCounterInc { .. }
+            | DOp::TxAbortIlr
+            | DOp::TxAbortExplicit
+            | DOp::Lock { .. }
+            | DOp::Unlock { .. }
+            | DOp::Nop
+            | DOp::TrapMalformed => {}
+        }
+        fx.try_drain(self.instructions, self.wall_cycles + t.sb.clock);
+    }
+
+    /// Post-execute hook: completes a pending seed with the faulted
+    /// instruction's op class, stamps the latency baselines, and runs the
+    /// static dead-use scan (a flip into a register no instruction ever
+    /// reads is masked at the site, latency zero). The scan walks the IR
+    /// (`self.m`), which both engines share, so the verdict is
+    /// engine-invariant.
+    pub(super) fn forensics_seed_complete(&mut self, tid: usize, class: OpClass) {
+        let Some(fx) = self.forensics.as_deref_mut() else { return };
+        let Phase::Pending { func, depth, slot, mask, occurrence } = fx.phase else { return };
+        let now = self.wall_cycles + self.threads[tid].sb.clock;
+        fx.site_func = func;
+        fx.site_class = class;
+        fx.occurrence = occurrence;
+        fx.applied_mask = mask;
+        fx.seed_insts = self.instructions;
+        fx.seed_cycles = now;
+        if value_has_uses(self.m.func(func), ValueId(slot)) {
+            fx.phase = Phase::Tracking;
+            let in_tx = self.threads[tid].in_tx();
+            fx.taint_insert(tid, in_tx, TaintKey::Reg { tid: tid as u32, depth, slot });
+        } else {
+            fx.done(FaultDetector::MaskedAtSite, self.instructions, now);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(
+                TraceEvent::instant("vm", "fault.flip", now)
+                    .lane(0, tid as u32)
+                    .arg("mask", format!("{mask:#x}")),
+            );
+        }
+    }
+
+    /// Run teardown: resolves whatever phase tracking ended in into the
+    /// public [`Forensics`] record. `None` if the fault never fired (the
+    /// planned occurrence lay beyond the run's register-write stream).
+    pub(super) fn conclude_forensics(&mut self, outcome: RunOutcome) -> Option<Forensics> {
+        let mut fx = self.forensics.take()?;
+        if matches!(fx.phase, Phase::Idle) {
+            return None;
+        }
+        if let Phase::Pending { func, mask, occurrence, .. } = fx.phase {
+            // Defensive: a seed whose instruction never reached the
+            // post-execute hook (no such path today).
+            fx.site_func = func;
+            fx.site_class = OpClass::Other;
+            fx.occurrence = occurrence;
+            fx.applied_mask = mask;
+            fx.seed_insts = self.instructions;
+            fx.seed_cycles = self.wall_cycles;
+            fx.phase = Phase::Tracking;
+        }
+        if fx.tracking() {
+            let det = match outcome {
+                RunOutcome::Hang => FaultDetector::Hang,
+                RunOutcome::Trapped(_) => FaultDetector::Trap,
+                // A fail-stop the ILR hook did not see: the explicit
+                // abort path outside a transaction.
+                RunOutcome::Detected => FaultDetector::Ilr,
+                RunOutcome::Completed => {
+                    if fx.taint.is_empty() && !fx.control_tainted {
+                        FaultDetector::Masked
+                    } else {
+                        FaultDetector::Escaped
+                    }
+                }
+            };
+            fx.done(det, self.instructions, self.wall_cycles);
+        }
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(
+                TraceEvent::span("vm", "fault.window", fx.seed_cycles, fx.latency_cycles)
+                    .arg("detector", fx.detector.label().to_string()),
+            );
+        }
+        Some(Forensics {
+            site: FaultSite {
+                func: self.m.func(fx.site_func).name.clone(),
+                op_class: fx.site_class.name(),
+                occurrence: fx.occurrence,
+                applied_mask: fx.applied_mask,
+            },
+            detector: fx.detector,
+            detect_latency_insts: fx.latency_insts,
+            detect_latency_cycles: fx.latency_cycles,
+            propagation_width: fx.peak,
+            escaped_to_memory: fx.escaped_to_memory,
+        })
+    }
+}
+
+/// Parallel phi-move taint transfer for an interpreter CFG edge —
+/// mirrors `Vm::take_edge`: read every source's taint, then write.
+fn phi_taint_interp(
+    fx: &mut ForensicsState,
+    tid: usize,
+    in_tx: bool,
+    depth: u32,
+    f: &Function,
+    from: BlockId,
+    to: BlockId,
+) {
+    let block = &f.blocks[to.0 as usize];
+    let mut updates: Vec<(u32, bool)> = Vec::new();
+    for &iid in &block.insts {
+        let inst = f.inst(iid);
+        if let Op::Phi { incomings, .. } = &inst.op {
+            if let Some((val, _)) = incomings.iter().find(|(_, b)| *b == from) {
+                let tainted =
+                    val.as_value().map(|v| fx.reg_tainted(tid, depth, v.0)).unwrap_or(false);
+                let dst = f.inst_result(iid).expect("phi has result");
+                updates.push((dst.0, tainted));
+            }
+        } else {
+            break;
+        }
+    }
+    for (slot, tainted) in updates {
+        fx.set_reg(tid, in_tx, depth, slot, tainted);
+    }
+}
+
+/// Parallel phi-move taint transfer for a decoded edge — mirrors
+/// `Vm::take_edge_fused` over the edge's move list.
+fn phi_taint_fused(
+    fx: &mut ForensicsState,
+    tid: usize,
+    in_tx: bool,
+    depth: u32,
+    d: &Decoded,
+    edge: super::decode::Edge,
+) {
+    let at = edge.moves_at as usize;
+    let moves = &d.moves[at..at + edge.moves_n as usize];
+    let updates: Vec<(u32, bool)> = moves
+        .iter()
+        .map(|mv| {
+            let tainted = match mv.src {
+                Src::Slot(i) => fx.reg_tainted(tid, depth, i),
+                Src::Const(_) => false,
+            };
+            (mv.dst, tainted)
+        })
+        .collect();
+    for (slot, tainted) in updates {
+        fx.set_reg(tid, in_tx, depth, slot, tainted);
+    }
+}
+
+/// True if any instruction in `f` reads `v` (phi incomings included).
+fn value_has_uses(f: &Function, v: ValueId) -> bool {
+    for block in &f.blocks {
+        for &iid in &block.insts {
+            let mut hit = false;
+            f.inst(iid).op.for_each_operand(|o| {
+                if o.as_value() == Some(v) {
+                    hit = true;
+                }
+            });
+            if hit {
+                return true;
+            }
+        }
+    }
+    false
+}

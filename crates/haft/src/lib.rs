@@ -125,7 +125,10 @@ pub use haft_workloads as workloads;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentReport, VariantReport};
-    pub use haft_faults::{run_campaign, CampaignConfig, CampaignReport, Group, Outcome};
+    pub use haft_faults::{
+        run_campaign, CampaignConfig, CampaignReport, ForensicsSummary, Group, LatencyHistogram,
+        Outcome, SiteStats,
+    };
     pub use haft_ir::builder::FunctionBuilder;
     pub use haft_ir::inst::{BinOp, CmpOp, Op, Operand};
     pub use haft_ir::module::Module;
@@ -139,12 +142,13 @@ pub mod prelude {
         TxConfig,
     };
     pub use haft_serve::{
-        ArrivalMode, FaultLoad, FaultReport, LatencyStats, RouterPolicy, SagaLoad, ServeConfig,
-        ServeMode, ServiceReport, ShardStats, WallReport,
+        ArrivalMode, FaultLoad, FaultReport, FaultTelemetry, LatencyStats, RouterPolicy, SagaLoad,
+        ServeConfig, ServeMode, ServiceReport, ShardStats, WallReport,
     };
     pub use haft_trace::{validate_chrome_trace, MetricsSnapshot, TraceBuf, TraceEvent};
     pub use haft_vm::{
-        CycleProfile, Engine, FaultPlan, ProfileCell, RunOutcome, RunResult, RunSpec, Vm, VmConfig,
+        CycleProfile, Engine, FaultDetector, FaultPlan, FaultSite, Forensics, ProfileCell,
+        RunOutcome, RunResult, RunSpec, Vm, VmConfig,
     };
     pub use haft_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }

@@ -1,5 +1,7 @@
 //! Run a paper-style fault-injection campaign over one benchmark and
-//! print the Table 1 outcome distribution for native, ILR, and HAFT.
+//! print the Table 1 outcome distribution for native, ILR, and HAFT —
+//! plus the forensics view: how long each fault survived before a
+//! detector fired, and which sites are most vulnerable.
 //!
 //! Run with:
 //! `cargo run --release -p haft --example fault_injection_campaign [bench] [injections]`
@@ -15,6 +17,7 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
     println!("campaign: {bench}, {injections} injections per configuration\n");
 
+    let mut haft_forensics: Option<ForensicsSummary> = None;
     for (label, hc) in [
         ("native", HardenConfig::native()),
         ("ILR   ", HardenConfig::ilr_only()),
@@ -23,11 +26,61 @@ fn main() {
         let v = Experiment::workload(&w)
             .harden(hc)
             .vm(VmConfig { n_threads: 2, max_instructions: 200_000_000, ..Default::default() })
-            .campaign(CampaignConfig { injections, seed: 2016, ..Default::default() });
-        println!("{label} {}", v.campaign.unwrap().summary());
+            .campaign(CampaignConfig {
+                injections,
+                seed: 2016,
+                forensics: true,
+                ..Default::default()
+            });
+        let report = v.campaign.unwrap();
+        println!("{label} {}", report.summary());
+        if label.trim() == "HAFT" {
+            haft_forensics = report.forensics.clone();
+        }
     }
     println!(
         "\nPaper reference (suite means): native SDC 26.2%, ILR SDC 0.8% \
          (75% fail-stop), HAFT 91.2% correct with SDC 1.1%."
     );
+
+    let fx = haft_forensics.expect("forensics-enabled campaign records");
+
+    // Detection latency: dynamic instructions between the bit flip and
+    // the detector that ended its window of vulnerability.
+    println!("\nHAFT detection latency (dynamic instructions from flip to detector):");
+    for d in FaultDetector::ALL {
+        let h = fx.detector_histogram(d);
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<14} count {:>4}  mean {:>8.1}  p90 {:>6}  max {:>8}",
+            d.label(),
+            h.count,
+            h.mean(),
+            h.percentile(90.0),
+            h.max
+        );
+    }
+
+    println!("\ntop 5 vulnerable sites (AVF-ranked, function · op-class):");
+    for (key, s) in fx.top_sites(5) {
+        println!(
+            "  {:<32} injections {:>4}  corrupted {:>3}  crashed {:>3}  AVF {:>5.1}%",
+            format!("{} · {}", key.0, key.1),
+            s.injections,
+            s.corrupted,
+            s.crashed,
+            s.avf()
+        );
+    }
+
+    // The same aggregate as the unified metrics registry exports it
+    // (`faults.*` dotted names) — what dashboards and CI grep for.
+    let mut m = MetricsSnapshot::new();
+    fx.metrics_into(&mut m);
+    println!("\nmetrics (stable names):");
+    for name in ["faults.forensics.fired", "faults.detect_latency.ilr.mean_insts"] {
+        println!("  {name} = {:.2}", m.get(name).unwrap());
+    }
 }

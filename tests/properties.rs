@@ -147,6 +147,53 @@ proptest! {
         }
     }
 
+    /// Fault forensics is strictly observational: a fault run with taint
+    /// tracking enabled returns a `RunResult` whose core — outcome,
+    /// output, every cycle counter, HTM stats — is byte-identical to the
+    /// same run with forensics off, on both engines. And the record's
+    /// latency invariant holds: zero detection latency exactly when the
+    /// flip landed in a dead register (`MaskedAtSite`).
+    #[test]
+    fn forensics_is_observational_and_latency_zero_iff_masked_at_site(
+        steps in proptest::collection::vec(step_strategy(), 1..20),
+        occ_seed in any::<u64>(),
+        mask in 1u64..,
+    ) {
+        let m = build_program(&steps);
+        for engine in [Engine::Interp, Engine::Fused] {
+            let base = VmConfig { max_instructions: 50_000_000, engine, ..Default::default() };
+            let exp = Experiment::new(&m)
+                .harden(HardenConfig::haft())
+                .spec(fini_spec())
+                .vm(base.clone());
+            let clean = exp.run().run;
+            prop_assert_eq!(clean.outcome, RunOutcome::Completed);
+            let plan = FaultPlan {
+                occurrence: occ_seed % clean.register_writes.max(1),
+                xor_mask: mask,
+            };
+            let off = exp.run_with_fault(plan).run;
+            let on = exp
+                .clone()
+                .vm(VmConfig { forensics: true, ..base })
+                .run_with_fault(plan)
+                .run;
+            prop_assert!(off.forensics.is_none(), "forensics off must not record");
+            let mut on_core = on;
+            let record = on_core.forensics.take();
+            prop_assert_eq!(&on_core, &off, "{:?}: forensics perturbed the run", engine);
+            if let Some(fx) = record {
+                prop_assert_eq!(
+                    fx.detect_latency_insts == 0,
+                    fx.detector == FaultDetector::MaskedAtSite,
+                    "latency {} vs detector {:?}",
+                    fx.detect_latency_insts,
+                    fx.detector
+                );
+            }
+        }
+    }
+
     /// The printer/parser round-trip reaches a fixed point after one
     /// α-renaming parse, for arbitrary generated modules, hardened or not.
     #[test]

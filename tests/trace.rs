@@ -195,8 +195,68 @@ fn metrics_registry_names_are_stable() {
         "serve.faults.sdc_per_million",
         "serve.faults.crashed_batches",
         "serve.faults.corrected_batches",
+        "serve.telemetry.intervals",
+        "serve.telemetry.fault_rate_ewma",
+        "serve.telemetry.peak_faulty",
     ] {
         assert!(m.get(name).is_some(), "missing serve metric `{name}`: {:?}", m.names());
     }
     assert_eq!(m.get("serve.requests.served"), Some(report.requests_served as f64));
+
+    // Campaign metrics: the `faults.*` block. Outcome and group names
+    // come from `metric_name()` and are pinned exactly; the forensics
+    // sub-block is schema-complete (every detector present, fired or not).
+    let campaign = Experiment::workload(&w)
+        .harden(HardenConfig::haft())
+        .campaign(CampaignConfig {
+            injections: 12,
+            parallelism: 2,
+            forensics: true,
+            ..Default::default()
+        })
+        .campaign
+        .expect("campaign variant carries the report");
+    let fm = campaign.metrics();
+    let outcome_names: Vec<&str> =
+        fm.names().into_iter().filter(|n| n.starts_with("faults.outcome.")).collect();
+    assert_eq!(
+        outcome_names,
+        vec![
+            "faults.outcome.haft-corrected",
+            "faults.outcome.hang",
+            "faults.outcome.ilr-detected",
+            "faults.outcome.masked",
+            "faults.outcome.os-detected",
+            "faults.outcome.sdc",
+            "faults.outcome.vote-corrected",
+        ]
+    );
+    let group_names: Vec<&str> =
+        fm.names().into_iter().filter(|n| n.starts_with("faults.group.")).collect();
+    assert_eq!(
+        group_names,
+        vec!["faults.group.correct", "faults.group.corrupted", "faults.group.crashed"]
+    );
+    for name in [
+        "faults.runs",
+        "faults.forensics.fired",
+        "faults.forensics.escaped_to_memory",
+        "faults.detect_latency.masked-at-site.count",
+        "faults.detect_latency.masked.count",
+        "faults.detect_latency.ilr.count",
+        "faults.detect_latency.ilr.mean_insts",
+        "faults.detect_latency.ilr.max_insts",
+        "faults.detect_latency.vote.count",
+        "faults.detect_latency.htm-abort.count",
+        "faults.detect_latency.trap.count",
+        "faults.detect_latency.hang.count",
+        "faults.detect_latency.escaped.count",
+        "faults.detect_latency.mean_cycles",
+        "faults.detect_latency.max_cycles",
+        "faults.propagation.mean",
+        "faults.propagation.max",
+    ] {
+        assert!(fm.get(name).is_some(), "missing faults metric `{name}`: {:?}", fm.names());
+    }
+    assert_eq!(fm.get("faults.runs"), Some(campaign.runs as f64));
 }
