@@ -1,0 +1,85 @@
+//! ABFT vs the replication backends on the matrix kernels: normalized
+//! runtime three ways, then the fault-injection outcome split showing
+//! what the checksum lanes buy (in-place correction at a fraction of
+//! TMR's cost) and what they give up (SDC in the uncovered slice).
+
+use haft_bench::{experiment, recommended_threshold};
+use haft_faults::{CampaignConfig, Group, Outcome};
+use haft_passes::HardenConfig;
+use haft_workloads::{workload_by_name, Scale};
+
+/// The matrix-shaped Phoenix kernels the ABFT recognizer targets.
+const MATRIX_NAMES: [&str; 4] = ["pca", "linearreg", "matrixmul", "kmeans"];
+
+fn main() {
+    let fast = haft_bench::fast_mode();
+    let names: &[&str] = if fast { &["linearreg", "matrixmul"] } else { &MATRIX_NAMES };
+    let threads = 2;
+    let injections = if fast { 40 } else { 200 };
+
+    println!("\n=== ABFT vs replication: normalized runtime, {threads} threads ===");
+    haft_bench::header(&["HAFT", "TMR", "ABFT", "ABFT/TMR"]);
+    let (mut haft_sum, mut tmr_sum, mut abft_sum) = (0.0, 0.0, 0.0);
+    for name in names {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let report = experiment(&w, threads, recommended_threshold(name)).compare(&[
+            HardenConfig::haft(),
+            HardenConfig::tmr(),
+            HardenConfig::abft(),
+        ]);
+        assert!(report.outputs_agree(), "{name}: output diverged or run failed");
+        let haft = report.overhead("HAFT").unwrap();
+        let tmr = report.overhead("TMR").unwrap();
+        let abft = report.overhead("ABFT").unwrap();
+        haft_sum += haft;
+        tmr_sum += tmr;
+        abft_sum += abft;
+        haft_bench::row(name, &[haft, tmr, abft, abft / tmr]);
+    }
+    let n = names.len() as f64;
+    haft_bench::row(
+        "mean",
+        &[haft_sum / n, tmr_sum / n, abft_sum / n, (abft_sum / n) / (tmr_sum / n)],
+    );
+    assert!(
+        abft_sum < tmr_sum,
+        "ABFT must undercut TMR on matrix kernels: {abft_sum:.2} vs {tmr_sum:.2}"
+    );
+
+    println!(
+        "\n=== Fault injection: checksum correction vs rollback/vote ({injections} injections) ==="
+    );
+    println!(
+        "{:<16}{:<6}{:>10}{:>10}{:>10}{:>10}",
+        "benchmark", "ver", "correct%", "chk%", "crash%", "sdc%"
+    );
+    for name in names {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        for (ver, hc) in [
+            ("HAFT", HardenConfig::haft()),
+            ("TMR", HardenConfig::tmr()),
+            ("ABFT", HardenConfig::abft()),
+        ] {
+            let v = experiment(&w, threads, recommended_threshold(name))
+                .harden(hc)
+                .campaign(CampaignConfig { injections, seed: 0xABF7, ..Default::default() });
+            let c = v.campaign.unwrap();
+            if ver != "ABFT" {
+                assert_eq!(
+                    c.pct(Outcome::ChecksumCorrected),
+                    0.0,
+                    "{name}/{ver}: checksum fired without a checksum backend"
+                );
+            }
+            println!(
+                "{:<16}{:<6}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
+                name,
+                ver,
+                c.group_pct(Group::Correct),
+                c.pct(Outcome::ChecksumCorrected),
+                c.group_pct(Group::Crashed),
+                c.pct(Outcome::Sdc)
+            );
+        }
+    }
+}

@@ -19,6 +19,10 @@ pub enum Outcome {
     /// place (the TMR backend), and the output is correct — corrected by
     /// masking, with no rollback involved.
     VoteCorrected,
+    /// A checksum verify-and-correct observed one divergent lane and
+    /// reconstructed the value from the other two (the ABFT backend),
+    /// and the output is correct.
+    ChecksumCorrected,
     /// The fault had no effect on the output.
     Masked,
     /// Silent data corruption: the run completed with wrong output.
@@ -30,7 +34,10 @@ impl Outcome {
     pub fn group(self) -> Group {
         match self {
             Outcome::Hang | Outcome::OsDetected | Outcome::IlrDetected => Group::Crashed,
-            Outcome::HaftCorrected | Outcome::VoteCorrected | Outcome::Masked => Group::Correct,
+            Outcome::HaftCorrected
+            | Outcome::VoteCorrected
+            | Outcome::ChecksumCorrected
+            | Outcome::Masked => Group::Correct,
             Outcome::Sdc => Group::Corrupted,
         }
     }
@@ -43,18 +50,20 @@ impl Outcome {
             Outcome::IlrDetected => "ilr-detected",
             Outcome::HaftCorrected => "haft-corrected",
             Outcome::VoteCorrected => "vote-corrected",
+            Outcome::ChecksumCorrected => "checksum-corrected",
             Outcome::Masked => "masked",
             Outcome::Sdc => "sdc",
         }
     }
 
     /// All outcomes, in reporting order.
-    pub const ALL: [Outcome; 7] = [
+    pub const ALL: [Outcome; 8] = [
         Outcome::Hang,
         Outcome::OsDetected,
         Outcome::IlrDetected,
         Outcome::HaftCorrected,
         Outcome::VoteCorrected,
+        Outcome::ChecksumCorrected,
         Outcome::Masked,
         Outcome::Sdc,
     ];
@@ -68,6 +77,7 @@ impl Outcome {
             Outcome::IlrDetected => "faults.outcome.ilr-detected",
             Outcome::HaftCorrected => "faults.outcome.haft-corrected",
             Outcome::VoteCorrected => "faults.outcome.vote-corrected",
+            Outcome::ChecksumCorrected => "faults.outcome.checksum-corrected",
             Outcome::Masked => "faults.outcome.masked",
             Outcome::Sdc => "faults.outcome.sdc",
         }
@@ -106,6 +116,8 @@ pub fn classify(run: &RunResult, golden: &[u64]) -> Outcome {
                     Outcome::HaftCorrected
                 } else if run.corrected_by_vote > 0 {
                     Outcome::VoteCorrected
+                } else if run.corrected_by_checksum > 0 {
+                    Outcome::ChecksumCorrected
                 } else {
                     Outcome::Masked
                 }
@@ -223,7 +235,8 @@ pub fn classify_requests(run: &RunResult, golden: &[u64]) -> Vec<RequestOutcome>
     if run.outcome != RunOutcome::Completed {
         return vec![RequestOutcome::Failed; golden.len()];
     }
-    let corrected = run.recoveries > 0 || run.corrected_by_vote > 0;
+    let corrected =
+        run.recoveries > 0 || run.corrected_by_vote > 0 || run.corrected_by_checksum > 0;
     golden
         .iter()
         .enumerate()
@@ -258,6 +271,7 @@ mod tests {
             detections: recoveries,
             recoveries,
             corrected_by_vote: 0,
+            corrected_by_checksum: 0,
             mispredicts: 0,
             forensics: None,
         }
@@ -302,6 +316,21 @@ mod tests {
     }
 
     #[test]
+    fn checksum_correction_classifies_below_rollback_and_vote() {
+        let golden = vec![1, 2, 3];
+        let mut r = result(RunOutcome::Completed, vec![1, 2, 3], 0);
+        r.corrected_by_checksum = 1;
+        assert_eq!(classify(&r, &golden), Outcome::ChecksumCorrected);
+        // An ABFT module's fallback functions can also roll back; the
+        // costlier event wins the classification.
+        r.recoveries = 1;
+        assert_eq!(classify(&r, &golden), Outcome::HaftCorrected);
+        let mut wrong = result(RunOutcome::Completed, vec![9, 2, 3], 0);
+        wrong.corrected_by_checksum = 1;
+        assert_eq!(classify(&wrong, &golden), Outcome::Sdc, "a wrong correction is corruption");
+    }
+
+    #[test]
     fn recovery_with_wrong_output_is_still_sdc() {
         let golden = vec![1];
         let r = result(RunOutcome::Completed, vec![2], 3);
@@ -337,6 +366,9 @@ mod tests {
         let mut voted = result(RunOutcome::Completed, vec![10, 20, 30, 40], 0);
         voted.corrected_by_vote = 1;
         assert_eq!(classify_requests(&voted, &golden), vec![RequestOutcome::ServedCorrected; 4]);
+        let mut chk = result(RunOutcome::Completed, vec![10, 20, 30, 40], 0);
+        chk.corrected_by_checksum = 1;
+        assert_eq!(classify_requests(&chk, &golden), vec![RequestOutcome::ServedCorrected; 4]);
         // A failed run drops the whole batch.
         let dead = result(RunOutcome::Detected, vec![], 0);
         assert_eq!(classify_requests(&dead, &golden), vec![RequestOutcome::Failed; 4]);
@@ -385,6 +417,7 @@ mod tests {
         assert_eq!(Outcome::IlrDetected.group(), Group::Crashed);
         assert_eq!(Outcome::HaftCorrected.group(), Group::Correct);
         assert_eq!(Outcome::VoteCorrected.group(), Group::Correct);
+        assert_eq!(Outcome::ChecksumCorrected.group(), Group::Correct);
         assert_eq!(Outcome::Masked.group(), Group::Correct);
         assert_eq!(Outcome::Sdc.group(), Group::Corrupted);
     }

@@ -12,6 +12,8 @@
 //! | OS-detected    | the OS terminated the program             |
 //! | ILR-detected   | ILR detected, TX did not recover          |
 //! | HAFT-corrected | ILR detected, TX recovered                |
+//! | Vote-corrected | a majority vote masked the fault (TMR)    |
+//! | Checksum-corrected | a checksum verify-and-correct reconstructed the value (ABFT) |
 //! | Masked         | fault did not affect output               |
 //! | SDC            | silent data corruption in the output      |
 //!

@@ -280,6 +280,13 @@ pub enum Op {
     /// VM treats it like a failed ILR check (fail-stop, or transactional
     /// rollback when inside a transaction).
     Vote { ty: Ty, a: Operand, b: Operand, c: Operand },
+    /// Checksum verify-and-correct over three redundant computations of a
+    /// value (ABFT pass). Semantically a two-of-three majority like
+    /// [`Op::Vote`], but attributed to the checksum epilogue: a masked
+    /// single-lane divergence counts as a *checksum correction* rather
+    /// than a vote. Three-way divergence is uncorrectable and fail-stops
+    /// through the ILR detect path.
+    ChkCorrect { ty: Ty, a: Operand, b: Operand, c: Operand },
     /// Externalize a value to the program output (an I/O event; unfriendly
     /// to transactions, like a syscall under TSX).
     Emit { ty: Ty, val: Operand },
@@ -381,7 +388,7 @@ impl Op {
             Op::Rmw { ty, .. } | Op::CmpXchg { ty, .. } => Some(*ty),
             Op::Alloc { .. } => Some(Ty::Ptr),
             Op::Call { ret_ty, .. } => *ret_ty,
-            Op::Vote { ty, .. } => Some(*ty),
+            Op::Vote { ty, .. } | Op::ChkCorrect { ty, .. } => Some(*ty),
             Op::ThreadId | Op::NumThreads => Some(Ty::I64),
             _ => None,
         }
@@ -434,7 +441,7 @@ impl Op {
                 }
             }
             Op::Ret { val: Some(v) } => f(v),
-            Op::Vote { a, b, c, .. } => {
+            Op::Vote { a, b, c, .. } | Op::ChkCorrect { a, b, c, .. } => {
                 f(a);
                 f(b);
                 f(c);
@@ -501,7 +508,7 @@ impl Op {
                 }
             }
             Op::Ret { val: Some(v) } => f(v),
-            Op::Vote { a, b, c, .. } => {
+            Op::Vote { a, b, c, .. } | Op::ChkCorrect { a, b, c, .. } => {
                 f(a);
                 f(b);
                 f(c);
@@ -564,6 +571,8 @@ mod tests {
         assert!(!Op::Emit { ty: Ty::I64, val: v(0) }.is_replicable());
         // Votes are synchronization points, never replicated themselves.
         assert!(!Op::Vote { ty: Ty::I64, a: v(0), b: v(1), c: v(2) }.is_replicable());
+        // Checksum corrections are synchronization points too.
+        assert!(!Op::ChkCorrect { ty: Ty::I64, a: v(0), b: v(1), c: v(2) }.is_replicable());
     }
 
     #[test]
@@ -621,6 +630,12 @@ mod tests {
         vote.for_each_operand(|o| seen.push(*o));
         assert_eq!(seen, vec![v(4), v(5), v(6)]);
         assert_eq!(vote.result_ty(), Some(Ty::I64));
+
+        let chk = Op::ChkCorrect { ty: Ty::F64, a: v(4), b: v(5), c: v(6) };
+        let mut seen = vec![];
+        chk.for_each_operand(|o| seen.push(*o));
+        assert_eq!(seen, vec![v(4), v(5), v(6)]);
+        assert_eq!(chk.result_ty(), Some(Ty::F64));
     }
 
     #[test]

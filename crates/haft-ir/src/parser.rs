@@ -439,6 +439,14 @@ impl<'a> Parser<'a> {
                 }
                 Op::Vote { ty, a: opnd(parts[0])?, b: opnd(parts[1])?, c: opnd(parts[2])? }
             }
+            "chk_correct" => {
+                let (ty, args) = split_ty(rest, ln)?;
+                let parts = commas(args);
+                if parts.len() != 3 {
+                    return self.err(ln, "chk_correct needs 3 operands");
+                }
+                Op::ChkCorrect { ty, a: opnd(parts[0])?, b: opnd(parts[1])?, c: opnd(parts[2])? }
+            }
             "lock" => Op::Lock { addr: opnd(rest)? },
             "unlock" => Op::Unlock { addr: opnd(rest)? },
             "emit" => {

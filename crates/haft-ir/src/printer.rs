@@ -216,6 +216,9 @@ fn print_inst(f: &Function, idx: usize, inst: &Inst) -> String {
         Op::Vote { ty, a, b, c } => {
             format!("vote {} {}, {}, {}", ty, operand(a), operand(b), operand(c))
         }
+        Op::ChkCorrect { ty, a, b, c } => {
+            format!("chk_correct {} {}, {}, {}", ty, operand(a), operand(b), operand(c))
+        }
         Op::Lock { addr } => format!("lock {}", operand(addr)),
         Op::Unlock { addr } => format!("unlock {}", operand(addr)),
         Op::Emit { ty, val } => format!("emit {} {}", ty, operand(val)),

@@ -235,7 +235,7 @@ pub fn verify_func(f: &Function, sigs: &[FnSig], globals: &[Global]) -> Result<(
                         }
                     }
                 }
-                Op::Vote { ty, a, b, c } => {
+                Op::Vote { ty, a, b, c } | Op::ChkCorrect { ty, a, b, c } => {
                     expect_ty(f, name, a, *ty, &mut errs);
                     expect_ty(f, name, b, *ty, &mut errs);
                     expect_ty(f, name, c, *ty, &mut errs);

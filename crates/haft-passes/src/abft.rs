@@ -1,0 +1,500 @@
+//! Algorithm-Based Fault Tolerance (ABFT) — checksum-protected kernels.
+//!
+//! The third hardening backend, after algorithm-based checksum schemes
+//! (Huang & Abraham's checksum matrices; Bosilca et al.'s ABFT for
+//! iterative kernels): instead of replicating *every* instruction (HAFT's
+//! 2×, TMR's 3×), the pass recognizes the accumulation/update loops that
+//! dominate matrix-shaped compute and protects only their *carried
+//! state* with two redundant checksum lanes, verified and corrected at
+//! the points where the state becomes observable.
+//!
+//! Recognition is structural, over SSA:
+//!
+//! * **Register accumulation chains** — a phi whose loop-carried incoming
+//!   is produced from the phi itself through a short slice of plain
+//!   arithmetic (`add`/`sub`/`mul` and their FP twins). This is the
+//!   `sx += x` family of reduction loops.
+//! * **Memory-cell chains** — a non-atomic `load`, a slice of plain
+//!   arithmetic over the loaded value, and a non-atomic `store` back
+//!   through a syntactically identical address. This is the
+//!   `acc[i] += f(x)` family of update loops.
+//!
+//! A chain only counts if its slice takes at least one *data* operand
+//! from outside the chain (a loaded element, a computed product):
+//! induction variables and constant-stride counters carry no information
+//! a checksum could protect, so they are left alone. Functions with at
+//! least [`AbftConfig::min_data_chains`] such chains are *covered*:
+//! every chain's state is maintained in three lanes, and a
+//! [`Op::ChkCorrect`] verify-and-correct replaces each externalizing use
+//! — a single divergent lane is reconstructed from the other two (the
+//! row×column intersection pinpoints exactly one element), while an
+//! uncorrectable three-way divergence fail-stops through the existing
+//! ILR detect path. Everything else in a covered function runs
+//! unprotected: that is ABFT's coverage-for-overhead trade, and it is
+//! what the fault-injection campaign measures.
+//!
+//! Functions with no recognizable chains fall back to full HAFT
+//! hardening (ILR + TX), so a covered module is never *less* protected
+//! than the paper's pipeline outside its kernels. The split is recorded
+//! per function in [`crate::PassStats`] (`abft.functions_covered` /
+//! `abft.functions_fallback`), making coverage a measured number.
+
+use std::collections::{HashMap, HashSet};
+
+use haft_ir::cfg::Cfg;
+use haft_ir::function::{Function, InstId, ValueDef, ValueId};
+use haft_ir::inst::{BinOp, InstMeta, Op, Operand};
+use haft_ir::module::Module;
+use haft_ir::types::Ty;
+
+use crate::ilr::{run_ilr, IlrConfig};
+use crate::tx::{run_tx, CalleeKind, TxConfig};
+
+/// ABFT configuration: how aggressively the pass claims functions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbftConfig {
+    /// Minimum number of recognized data chains for a function to be
+    /// covered by checksums instead of falling back to full HAFT.
+    /// Raising it makes the backend fallback-heavy: only functions whose
+    /// compute is dominated by several independent accumulations keep
+    /// the cheap protection.
+    pub min_data_chains: usize,
+    /// Maximum instructions in one chain's arithmetic slice. Chains
+    /// longer than this are not checksum-maintainable at a profitable
+    /// cost and are ignored.
+    pub max_slice: usize,
+}
+
+impl Default for AbftConfig {
+    fn default() -> Self {
+        AbftConfig { min_data_chains: 1, max_slice: 8 }
+    }
+}
+
+impl AbftConfig {
+    /// The fallback-heavy variant: a single accumulation chain no longer
+    /// qualifies, so only multi-reduction kernels stay covered.
+    pub fn fallback_heavy() -> Self {
+        AbftConfig { min_data_chains: 2, ..AbftConfig::default() }
+    }
+}
+
+/// What [`run_abft_module`] did, for [`crate::PassStats`] publication.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbftStats {
+    /// Functions protected by checksum lanes.
+    pub functions_covered: u64,
+    /// Functions that fell back to full HAFT (ILR + TX).
+    pub functions_fallback: u64,
+    /// Data chains instrumented across all covered functions.
+    pub chains: u64,
+    /// `chk_correct` instructions inserted.
+    pub corrections: u64,
+}
+
+/// Applies ABFT to every non-external function: checksum lanes where a
+/// function is amenable, full HAFT hardening where it is not.
+pub fn run_abft_module(m: &mut Module, cfg: &AbftConfig) -> AbftStats {
+    let mut stats = AbftStats::default();
+
+    // Phase 1: analysis over the untransformed module.
+    let plans: Vec<Option<Plan>> = m
+        .funcs
+        .iter()
+        .map(|f| {
+            if f.attrs.external {
+                return None;
+            }
+            let plan = find_chains(f, cfg);
+            (plan.chains >= cfg.min_data_chains as u64).then_some(plan)
+        })
+        .collect();
+
+    // Callee-kind snapshot for the HAFT fallback's TX pass. Covered
+    // functions carry no transaction machinery of their own, so a
+    // fallback caller must treat them like unprotected library code and
+    // split its transaction around the call.
+    let kinds: Vec<CalleeKind> = m
+        .funcs
+        .iter()
+        .zip(&plans)
+        .map(|(f, plan)| {
+            if f.attrs.external || plan.is_some() {
+                CalleeKind::External
+            } else if f.attrs.local {
+                CalleeKind::Local
+            } else {
+                CalleeKind::NonLocal
+            }
+        })
+        .collect();
+
+    // Phase 2: transform.
+    for (f, plan) in m.funcs.iter_mut().zip(&plans) {
+        if f.attrs.external {
+            continue;
+        }
+        match plan {
+            Some(plan) => {
+                stats.functions_covered += 1;
+                stats.chains += plan.chains;
+                stats.corrections += instrument(f, plan);
+            }
+            None => {
+                stats.functions_fallback += 1;
+                run_ilr(f, &IlrConfig::default());
+                run_tx(f, &TxConfig::default(), &kinds);
+            }
+        }
+    }
+    stats
+}
+
+/// Arithmetic a checksum can be maintained through: the closed,
+/// trap-free ring operations. Division, shifts, and bitwise logic do
+/// not commute with the lane construction and end a slice.
+fn allowed(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::FAdd | BinOp::FSub | BinOp::FMul)
+}
+
+/// Checksummable carried-state types. `Ptr` chains (address induction)
+/// and `i1` are never data state.
+fn chain_ty(ty: Ty) -> bool {
+    matches!(ty, Ty::I64 | Ty::F64)
+}
+
+/// Everything the instrumentation walk needs about one function, unified
+/// across its chains so a slice shared by two chains is replicated once.
+#[derive(Default)]
+struct Plan {
+    /// Carrier phis of register accumulation chains.
+    phis: HashSet<InstId>,
+    /// Carrier loads of memory-cell chains (re-loaded per lane).
+    loads: HashSet<InstId>,
+    /// Stores closing memory-cell chains (value verified-and-corrected).
+    stores: HashSet<InstId>,
+    /// Arithmetic slices to replicate per lane.
+    slices: HashSet<InstId>,
+    /// Recognized data chains.
+    chains: u64,
+}
+
+/// Walks backward from `v` and reports whether it reaches `carrier`
+/// through allowed arithmetic only, collecting the on-path instructions
+/// into `slice` in operands-before-consumers order. Off-path operands
+/// (loads, parameters, other phis, disallowed ops) are the chain's
+/// shared external contributions, not part of the slice.
+fn reaches(
+    f: &Function,
+    v: ValueId,
+    carrier: ValueId,
+    memo: &mut HashMap<ValueId, bool>,
+    slice: &mut Vec<InstId>,
+) -> bool {
+    if v == carrier {
+        return true;
+    }
+    if let Some(&r) = memo.get(&v) {
+        return r;
+    }
+    memo.insert(v, false);
+    let r = match f.value_def(v) {
+        ValueDef::Param(_) => false,
+        ValueDef::Inst(id) => match &f.inst(id).op {
+            Op::Bin { op, .. } if allowed(*op) => {
+                let op = f.inst(id).op.clone();
+                let mut any = false;
+                op.for_each_operand(|o| {
+                    if let Operand::Value(u) = o {
+                        any |= reaches(f, *u, carrier, memo, slice);
+                    }
+                });
+                if any && !slice.contains(&id) {
+                    slice.push(id);
+                }
+                any
+            }
+            _ => false,
+        },
+    };
+    memo.insert(v, r);
+    r
+}
+
+/// The slice from `head` back to `carrier`, or `None` if there is no
+/// all-arithmetic cycle or it exceeds `max`.
+fn slice_for(f: &Function, head: ValueId, carrier: ValueId, max: usize) -> Option<Vec<InstId>> {
+    let mut memo = HashMap::new();
+    let mut slice = Vec::new();
+    if !reaches(f, head, carrier, &mut memo, &mut slice) || slice.is_empty() || slice.len() > max {
+        return None;
+    }
+    Some(slice)
+}
+
+/// True if the slice folds in at least one external *value* operand —
+/// the loaded element or computed product a checksum exists to protect.
+/// Constant-only chains (induction variables, histogram counters) carry
+/// nothing worth checksumming.
+fn is_data_chain(f: &Function, slice: &[InstId], carrier: ValueId) -> bool {
+    let internal: HashSet<ValueId> = slice.iter().filter_map(|id| f.inst_result(*id)).collect();
+    slice.iter().any(|id| {
+        let mut external = false;
+        f.inst(*id).op.for_each_operand(|o| {
+            if let Operand::Value(v) = o {
+                if *v != carrier && !internal.contains(v) {
+                    external = true;
+                }
+            }
+        });
+        external
+    })
+}
+
+/// Finds every data chain in `f` and unifies them into one [`Plan`].
+fn find_chains(f: &Function, cfg: &AbftConfig) -> Plan {
+    let mut plan = Plan::default();
+
+    for (_, block) in f.iter_blocks() {
+        // Register accumulation chains: phis carried through arithmetic.
+        for &iid in &block.insts {
+            let Op::Phi { ty, incomings } = &f.inst(iid).op else { continue };
+            if !chain_ty(*ty) {
+                continue;
+            }
+            let Some(p) = f.inst_result(iid) else { continue };
+            let mut slice: Vec<InstId> = Vec::new();
+            for (o, _) in incomings {
+                if let Operand::Value(u) = o {
+                    if *u == p {
+                        continue;
+                    }
+                    if let Some(s) = slice_for(f, *u, p, cfg.max_slice) {
+                        for id in s {
+                            if !slice.contains(&id) {
+                                slice.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+            if !slice.is_empty() && is_data_chain(f, &slice, p) {
+                plan.phis.insert(iid);
+                plan.slices.extend(slice.iter().copied());
+                plan.chains += 1;
+            }
+        }
+
+        // Memory-cell chains: load → arithmetic → store, same cell.
+        for (j, &sid) in block.insts.iter().enumerate() {
+            let Op::Store { ty, val: Operand::Value(v), addr, atomic: false } = &f.inst(sid).op
+            else {
+                continue;
+            };
+            let (ty, v, addr) = (*ty, *v, *addr);
+            if !chain_ty(ty) || plan.stores.contains(&sid) {
+                continue;
+            }
+            for &lid in &block.insts[..j] {
+                if plan.loads.contains(&lid) {
+                    continue;
+                }
+                let Op::Load { ty: lty, addr: laddr, atomic: false } = &f.inst(lid).op else {
+                    continue;
+                };
+                if *lty != ty || *laddr != addr {
+                    continue;
+                }
+                let Some(carrier) = f.inst_result(lid) else { continue };
+                let Some(slice) = slice_for(f, v, carrier, cfg.max_slice) else { continue };
+                if !is_data_chain(f, &slice, carrier) {
+                    continue;
+                }
+                plan.loads.insert(lid);
+                plan.stores.insert(sid);
+                plan.slices.extend(slice.iter().copied());
+                plan.chains += 1;
+                break;
+            }
+        }
+    }
+    plan
+}
+
+/// Applies the checksum-lane instrumentation for one covered function;
+/// returns the number of `chk_correct` instructions inserted.
+fn instrument(f: &mut Function, plan: &Plan) -> u64 {
+    let mut st = Abft { map: HashMap::new(), phi_tris: Vec::new(), corrections: 0 };
+    let order = Cfg::compute(f).rpo.clone();
+    for &b in &order {
+        st.rewrite_block(f, b, plan);
+    }
+    st.fill_lane_phis(f);
+    st.corrections
+}
+
+struct Abft {
+    /// Protected master value -> its two checksum-lane twins.
+    map: HashMap<ValueId, [ValueId; 2]>,
+    /// (master phi, lane phi, lane phi) to fill after rewriting (the
+    /// carried incoming only acquires lanes once its block has run).
+    phi_tris: Vec<(InstId, InstId, InstId)>,
+    corrections: u64,
+}
+
+impl Abft {
+    fn lane_of(&self, lane: usize, o: &Operand) -> Operand {
+        match o {
+            Operand::Value(v) => self.map.get(v).map(|l| Operand::Value(l[lane])).unwrap_or(*o),
+            other => *other,
+        }
+    }
+
+    fn rewrite_block(&mut self, f: &mut Function, b: haft_ir::function::BlockId, plan: &Plan) {
+        let old = std::mem::take(&mut f.blocks[b.0 as usize].insts);
+        let mut insts: Vec<InstId> = Vec::with_capacity(old.len() + 8);
+        let meta = InstMeta { shadow: true, ..Default::default() };
+
+        for iid in old {
+            if plan.phis.contains(&iid) {
+                // Carrier phi: two lane phis ride directly behind it so
+                // phis stay contiguous at the block head.
+                let ty = f.inst(iid).op.result_ty().expect("phi has a type");
+                insts.push(iid);
+                let (p1, r1) = f.create_inst_meta(Op::Phi { ty, incomings: Vec::new() }, meta);
+                let (p2, r2) = f.create_inst_meta(Op::Phi { ty, incomings: Vec::new() }, meta);
+                insts.push(p1);
+                insts.push(p2);
+                let master = f.inst_result(iid).expect("phi has result");
+                self.map.insert(master, [r1.expect("phi result"), r2.expect("phi result")]);
+                self.phi_tris.push((iid, p1, p2));
+            } else if plan.loads.contains(&iid) {
+                // Carrier load: each lane re-reads the (race-free) cell
+                // so the three lanes hold independently loaded state.
+                let Op::Load { ty, addr, .. } = &f.inst(iid).op else {
+                    unreachable!("plan load is a load")
+                };
+                let (ty, addr) = (*ty, *addr);
+                insts.push(iid);
+                let mut lanes = [None, None];
+                for slot in lanes.iter_mut() {
+                    let (cid, cres) =
+                        f.create_inst_meta(Op::Load { ty, addr, atomic: false }, meta);
+                    insts.push(cid);
+                    *slot = cres;
+                }
+                let master = f.inst_result(iid).expect("load has result");
+                self.map.insert(
+                    master,
+                    [lanes[0].expect("load result"), lanes[1].expect("load result")],
+                );
+            } else if plan.slices.contains(&iid) {
+                // Chain arithmetic: replicate per lane, carried operands
+                // swapped for the lane twins, external contributions
+                // shared with the master.
+                insts.push(iid);
+                let mut lanes = [None, None];
+                for (lane, slot) in lanes.iter_mut().enumerate() {
+                    let mut cop = f.inst(iid).op.clone();
+                    cop.map_operands(|o| *o = self.lane_of(lane, o));
+                    let (cid, cres) = f.create_inst_meta(cop, meta);
+                    insts.push(cid);
+                    *slot = cres;
+                }
+                if let Some(master) = f.inst_result(iid) {
+                    self.map.insert(
+                        master,
+                        [lanes[0].expect("slice result"), lanes[1].expect("slice result")],
+                    );
+                }
+            } else if plan.stores.contains(&iid) {
+                // Chain store: the written-back state is the observable
+                // — verify and correct it on the way out.
+                let Op::Store { ty, val, .. } = &f.inst(iid).op else {
+                    unreachable!("plan store is a store")
+                };
+                let (ty, val) = (*ty, *val);
+                if let Operand::Value(v) = val {
+                    if let Some(l) = self.map.get(&v).copied() {
+                        let (cid, cres) = f.create_inst(Op::ChkCorrect {
+                            ty,
+                            a: val,
+                            b: Operand::Value(l[0]),
+                            c: Operand::Value(l[1]),
+                        });
+                        insts.push(cid);
+                        let corrected = Operand::Value(cres.expect("chk_correct result"));
+                        if let Op::Store { val, .. } = &mut f.inst_mut(iid).op {
+                            *val = corrected;
+                        }
+                        self.corrections += 1;
+                    }
+                }
+                insts.push(iid);
+            } else {
+                // Any other use of protected state externalizes it:
+                // verify-and-correct each such operand first. Phis keep
+                // their master incomings (the lane phis carry the lane
+                // flow; a correction cannot precede a phi anyway).
+                if !f.inst(iid).op.is_phi() {
+                    let mut planned: Vec<(ValueId, [ValueId; 2])> = Vec::new();
+                    f.inst(iid).op.for_each_operand(|o| {
+                        if let Operand::Value(v) = o {
+                            if let Some(l) = self.map.get(v) {
+                                if !planned.iter().any(|(pv, _)| pv == v) {
+                                    planned.push((*v, *l));
+                                }
+                            }
+                        }
+                    });
+                    let mut subs: Vec<(ValueId, ValueId)> = Vec::new();
+                    for (v, l) in planned {
+                        let ty = f.value_ty(v);
+                        let (cid, cres) = f.create_inst(Op::ChkCorrect {
+                            ty,
+                            a: Operand::Value(v),
+                            b: Operand::Value(l[0]),
+                            c: Operand::Value(l[1]),
+                        });
+                        insts.push(cid);
+                        subs.push((v, cres.expect("chk_correct result")));
+                        self.corrections += 1;
+                    }
+                    if !subs.is_empty() {
+                        f.inst_mut(iid).op.map_operands(|o| {
+                            if let Operand::Value(v) = o {
+                                if let Some((_, n)) = subs.iter().find(|(pv, _)| *pv == *v) {
+                                    *o = Operand::Value(*n);
+                                }
+                            }
+                        });
+                    }
+                }
+                insts.push(iid);
+            }
+        }
+        f.blocks[b.0 as usize].insts = insts;
+    }
+
+    /// Fills the lane phis' incomings once every block has been
+    /// rewritten: the carried incoming maps to its lane twin, shared
+    /// (initial) incomings stay the master's.
+    fn fill_lane_phis(&mut self, f: &mut Function) {
+        for (master, p1, p2) in self.phi_tris.clone() {
+            let incomings = match &f.inst(master).op {
+                Op::Phi { incomings, .. } => incomings.clone(),
+                _ => unreachable!("phi triple holds phis"),
+            };
+            for (lane, copy) in [(0, p1), (1, p2)] {
+                let mapped: Vec<_> =
+                    incomings.iter().map(|(v, b)| (self.lane_of(lane, v), *b)).collect();
+                if let Op::Phi { incomings, .. } = &mut f.inst_mut(copy).op {
+                    *incomings = mapped;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -26,6 +26,14 @@
 //!   synchronization points, so a single-copy fault is corrected in
 //!   place with no transactions and no rollback.
 //!
+//! * [`abft`] — **Algorithm-Based Fault Tolerance** (the third backend):
+//!   recognizes checksum-maintainable accumulation chains in matrix-style
+//!   kernels, carries two checksum lanes alongside each chain, and
+//!   verifies-and-corrects at externalization points — correcting a
+//!   single divergent lane in place and fail-stopping on uncorrectable
+//!   three-way divergence. Functions with no recognizable chains fall
+//!   back to the full HAFT pipeline, per function.
+//!
 //! * [`manager`] — the trait-based pass pipeline: [`Pass`] is the unit of
 //!   composition, [`PassManager`] owns ordering, per-pass instruction
 //!   deltas ([`PassStats`]), and debug-build IR verification at every
@@ -60,15 +68,17 @@
 //! assert!(hardened.total_inst_count() > m.total_inst_count());
 //! ```
 
+pub mod abft;
 pub mod ilr;
 pub mod manager;
 pub mod pipeline;
 pub mod tmr;
 pub mod tx;
 
+pub use abft::AbftConfig;
 pub use ilr::IlrConfig;
 pub use manager::{
-    harden_runs_for, IlrPass, Pass, PassManager, PassRecord, PassStats, TmrPass, TxPass,
+    harden_runs_for, AbftPass, IlrPass, Pass, PassManager, PassRecord, PassStats, TmrPass, TxPass,
 };
 #[allow(deprecated)]
 pub use pipeline::harden;

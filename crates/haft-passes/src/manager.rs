@@ -31,6 +31,7 @@
 use haft_ir::module::Module;
 use haft_ir::verify::verify_module;
 
+use crate::abft::{run_abft_module, AbftConfig};
 use crate::ilr::{run_ilr_module, IlrConfig};
 use crate::tmr::{run_tmr_module, TmrConfig};
 use crate::tx::{run_tx_module, TxConfig};
@@ -170,6 +171,26 @@ impl Pass for TmrPass {
     }
 }
 
+/// The ABFT pass as a managed [`Pass`]: checksum lanes and
+/// verify-and-correct for recognized accumulation chains, with a
+/// per-function fallback to the full HAFT pipeline (the [`crate::abft`]
+/// backend).
+#[derive(Clone, Debug, Default)]
+pub struct AbftPass(pub AbftConfig);
+
+impl Pass for AbftPass {
+    fn name(&self) -> &'static str {
+        "abft"
+    }
+
+    fn run(&self, m: &mut Module, stats: &mut PassStats) {
+        let s = run_abft_module(m, &self.0);
+        stats.bump("abft.functions_covered", s.functions_covered);
+        stats.bump("abft.functions_fallback", s.functions_fallback);
+        stats.bump("abft.chains", s.chains);
+    }
+}
+
 /// Owns a pass sequence: ordering, boundary verification, stats.
 ///
 /// By default the manager re-verifies the module after every pass **in
@@ -207,9 +228,10 @@ impl PassManager {
         match cfg.backend {
             crate::pipeline::Backend::IlrTx => {
                 debug_assert!(
-                    cfg.tmr.is_none(),
-                    "tmr config set but backend is IlrTx; it would be silently ignored \
-                     — use backend: Backend::Tmr (e.g. HardenConfig::tmr())"
+                    cfg.tmr.is_none() && cfg.abft.is_none(),
+                    "tmr/abft config set but backend is IlrTx; it would be silently ignored \
+                     — use backend: Backend::Tmr (e.g. HardenConfig::tmr()) or \
+                     Backend::Abft (e.g. HardenConfig::abft())"
                 );
                 if let Some(ilr) = &cfg.ilr {
                     pm = pm.with_pass(IlrPass(ilr.clone()));
@@ -220,11 +242,20 @@ impl PassManager {
             }
             crate::pipeline::Backend::Tmr => {
                 debug_assert!(
-                    cfg.ilr.is_none() && cfg.tx.is_none(),
-                    "ilr/tx config set but backend is Tmr; it would be silently ignored \
+                    cfg.ilr.is_none() && cfg.tx.is_none() && cfg.abft.is_none(),
+                    "ilr/tx/abft config set but backend is Tmr; it would be silently ignored \
                      — use backend: Backend::IlrTx (e.g. HardenConfig::haft())"
                 );
                 pm = pm.with_pass(TmrPass(cfg.tmr.clone().unwrap_or_default()));
+            }
+            crate::pipeline::Backend::Abft => {
+                debug_assert!(
+                    cfg.ilr.is_none() && cfg.tx.is_none() && cfg.tmr.is_none(),
+                    "ilr/tx/tmr config set but backend is Abft; it would be silently ignored \
+                     — the ABFT pass hardens fallback functions with its own internal \
+                     default-config HAFT pipeline (use HardenConfig::abft())"
+                );
+                pm = pm.with_pass(AbftPass(cfg.abft.clone().unwrap_or_default()));
             }
         }
         pm
@@ -335,6 +366,7 @@ mod tests {
         assert_eq!(PassManager::from_config(&HardenConfig::ilr_only()).len(), 1);
         assert_eq!(PassManager::from_config(&HardenConfig::haft()).len(), 2);
         assert_eq!(PassManager::from_config(&HardenConfig::tmr()).len(), 1);
+        assert_eq!(PassManager::from_config(&HardenConfig::abft()).len(), 1);
     }
 
     #[test]
@@ -352,6 +384,24 @@ mod tests {
     fn off_backend_ilr_config_is_rejected() {
         let mut cfg = HardenConfig::tmr();
         cfg.ilr = Some(crate::ilr::IlrConfig::default());
+        let _ = PassManager::from_config(&cfg);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "backend is Abft")]
+    fn off_backend_tmr_config_is_rejected_by_abft() {
+        let mut cfg = HardenConfig::abft();
+        cfg.tmr = Some(crate::tmr::TmrConfig::default());
+        let _ = PassManager::from_config(&cfg);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "backend is IlrTx")]
+    fn off_backend_abft_config_is_rejected() {
+        let cfg =
+            HardenConfig { abft: Some(crate::abft::AbftConfig::default()), ..HardenConfig::haft() };
         let _ = PassManager::from_config(&cfg);
     }
 

@@ -2,6 +2,7 @@
 
 use haft_ir::module::Module;
 
+use crate::abft::AbftConfig;
 use crate::ilr::IlrConfig;
 use crate::tmr::TmrConfig;
 use crate::tx::TxConfig;
@@ -45,13 +46,16 @@ impl OptLevel {
 
 /// Which hardening *strategy* a [`HardenConfig`] selects.
 ///
-/// The two backends share the [`crate::PassManager`]/`Experiment`
+/// The backends share the [`crate::PassManager`]/`Experiment`
 /// plumbing but differ in mechanism:
 ///
 /// * [`Backend::IlrTx`] — the paper's pipeline: duplicate (ILR) to
 ///   *detect*, transactify (TX) to *recover by rollback*.
 /// * [`Backend::Tmr`] — the Elzar-style alternative: triplicate and
 ///   majority-vote to *mask* faults in place, with no transactions.
+/// * [`Backend::Abft`] — algorithm-based fault tolerance: checksum
+///   lanes over recognized accumulation chains, verified and corrected
+///   at externalization points, with per-function full-HAFT fallback.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Backend {
     /// HAFT's detect-and-rollback pipeline (the default).
@@ -59,6 +63,8 @@ pub enum Backend {
     IlrTx,
     /// Elzar-style triple modular redundancy with majority voting.
     Tmr,
+    /// Checksum-protected matrix kernels with full-HAFT fallback.
+    Abft,
 }
 
 /// Which passes to run and how.
@@ -72,6 +78,10 @@ pub struct HardenConfig {
     /// TMR pass configuration, consulted when `backend` is
     /// [`Backend::Tmr`] (a `None` falls back to [`TmrConfig::default`]).
     pub tmr: Option<TmrConfig>,
+    /// ABFT pass configuration, consulted when `backend` is
+    /// [`Backend::Abft`] (a `None` falls back to
+    /// [`AbftConfig::default`]).
+    pub abft: Option<AbftConfig>,
 }
 
 impl Default for HardenConfig {
@@ -84,7 +94,7 @@ impl Default for HardenConfig {
 
 impl HardenConfig {
     fn ilr_tx(ilr: Option<IlrConfig>, tx: Option<TxConfig>) -> Self {
-        HardenConfig { backend: Backend::IlrTx, ilr, tx, tmr: None }
+        HardenConfig { backend: Backend::IlrTx, ilr, tx, tmr: None, abft: None }
     }
 
     /// No transformation (the native baseline).
@@ -110,7 +120,13 @@ impl HardenConfig {
     /// The Elzar-style TMR backend: triplicate computation and mask
     /// faults by majority vote, with no transactional machinery.
     pub fn tmr() -> Self {
-        HardenConfig { backend: Backend::Tmr, ilr: None, tx: None, tmr: Some(TmrConfig::default()) }
+        HardenConfig {
+            backend: Backend::Tmr,
+            ilr: None,
+            tx: None,
+            tmr: Some(TmrConfig::default()),
+            abft: None,
+        }
     }
 
     /// TMR with every refinement disabled (vote everywhere, single
@@ -121,6 +137,32 @@ impl HardenConfig {
             ilr: None,
             tx: None,
             tmr: Some(TmrConfig::unoptimized()),
+            abft: None,
+        }
+    }
+
+    /// The ABFT backend: checksum lanes over recognized accumulation
+    /// chains, full HAFT for everything the pass cannot cover.
+    pub fn abft() -> Self {
+        HardenConfig {
+            backend: Backend::Abft,
+            ilr: None,
+            tx: None,
+            tmr: None,
+            abft: Some(AbftConfig::default()),
+        }
+    }
+
+    /// ABFT with the fallback-heavy claiming threshold: single-chain
+    /// functions drop back to full HAFT, so only multi-reduction
+    /// kernels keep the checksum protection.
+    pub fn abft_fallback_heavy() -> Self {
+        HardenConfig {
+            backend: Backend::Abft,
+            ilr: None,
+            tx: None,
+            tmr: None,
+            abft: Some(AbftConfig::fallback_heavy()),
         }
     }
 
@@ -175,13 +217,23 @@ impl HardenConfig {
     }
 
     /// Short human-readable name for reports: the variant name
-    /// (`native`/`ILR`/`TX`/`HAFT`, or `TMR` for the masking backend)
-    /// plus suffixes for every disabled refinement (`-sm`, `-cf`, `-fp`,
-    /// `-ce`, `-nc`, `-ph`; `-tl`, `-ve` for TMR), `+el` for lock
-    /// elision, and `+bl<n>` for an `n`-entry TX blacklist. Distinct
-    /// configs get distinct labels, except for blacklists that differ
-    /// only in their entries (the label encodes the count).
+    /// (`native`/`ILR`/`TX`/`HAFT`, `TMR` for the masking backend, or
+    /// `ABFT` for the checksum backend) plus suffixes for every
+    /// deviation from the preset (`-sm`, `-cf`, `-fp`, `-ce`, `-nc`,
+    /// `-ph`; `-tl`, `-ve` for TMR; `-fb` for fallback-heavy ABFT),
+    /// `+el` for lock elision, and `+bl<n>` for an `n`-entry TX
+    /// blacklist. Distinct configs get distinct labels, except for
+    /// blacklists that differ only in their entries (the label encodes
+    /// the count).
     pub fn label(&self) -> String {
+        if self.backend == Backend::Abft {
+            let mut s = String::from("ABFT");
+            let abft = self.abft.clone().unwrap_or_default();
+            if abft.min_data_chains > AbftConfig::default().min_data_chains {
+                s.push_str("-fb");
+            }
+            return s;
+        }
         if self.backend == Backend::Tmr {
             let mut s = String::from("TMR");
             let tmr = self.tmr.clone().unwrap_or_default();
@@ -289,9 +341,15 @@ mod tests {
         }
         let t = HardenConfig::tmr();
         assert_eq!(t.backend, Backend::Tmr);
-        assert!(t.ilr.is_none() && t.tx.is_none());
+        assert!(t.ilr.is_none() && t.tx.is_none() && t.abft.is_none());
         assert!(t.tmr.as_ref().unwrap().triplicate_loads);
         assert!(!HardenConfig::tmr_unoptimized().tmr.unwrap().triplicate_loads);
+        // The ABFT presets carry only an ABFT config.
+        let a = HardenConfig::abft();
+        assert_eq!(a.backend, Backend::Abft);
+        assert!(a.ilr.is_none() && a.tx.is_none() && a.tmr.is_none());
+        assert_eq!(a.abft.as_ref().unwrap().min_data_chains, 1);
+        assert_eq!(HardenConfig::abft_fallback_heavy().abft.unwrap().min_data_chains, 2);
         // The default config is full HAFT, not native.
         assert_eq!(HardenConfig::default().label(), "HAFT");
         assert_eq!(Backend::default(), Backend::IlrTx);
@@ -324,8 +382,16 @@ mod tests {
         no_ve.tmr = Some(TmrConfig { vote_elision: false, ..TmrConfig::default() });
         assert_eq!(no_ve.label(), "TMR-ve");
         // A backend-less TMR config labels by the default TMR settings.
-        let bare = HardenConfig { backend: Backend::Tmr, ilr: None, tx: None, tmr: None };
+        let bare =
+            HardenConfig { backend: Backend::Tmr, ilr: None, tx: None, tmr: None, abft: None };
         assert_eq!(bare.label(), "TMR");
+        // The ABFT backend's variants.
+        assert_eq!(HardenConfig::abft().label(), "ABFT");
+        assert_eq!(HardenConfig::abft_fallback_heavy().label(), "ABFT-fb");
+        // A config-less ABFT backend labels by the default settings.
+        let bare_abft =
+            HardenConfig { backend: Backend::Abft, ilr: None, tx: None, tmr: None, abft: None };
+        assert_eq!(bare_abft.label(), "ABFT");
     }
 
     #[test]

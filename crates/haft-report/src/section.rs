@@ -8,6 +8,7 @@
 
 use crate::render::{Series, Table};
 
+mod abft;
 mod faults;
 mod forensics;
 mod overheads;
@@ -16,6 +17,7 @@ mod serving;
 mod tradeoff;
 mod txsweep;
 
+pub use abft::AbftFrontier;
 pub use faults::FaultHistograms;
 pub use forensics::ForensicsSection;
 pub use overheads::Overheads;
@@ -65,6 +67,7 @@ pub fn all_sections() -> Vec<Box<dyn Section>> {
         Box::new(TxSweep),
         Box::new(Serving),
         Box::new(HaftVsElzar),
+        Box::new(AbftFrontier),
         Box::new(Profile),
     ]
 }
@@ -86,6 +89,7 @@ mod tests {
                 "tx-sweep",
                 "serving",
                 "haft-vs-elzar",
+                "abft-frontier",
                 "profile"
             ]
         );

@@ -184,6 +184,9 @@ pub struct RunResult {
     /// Majority votes that found a divergent copy and masked it in place
     /// (the TMR backend's correction mechanism — no rollback involved).
     pub corrected_by_vote: u64,
+    /// Checksum verifications that found a single divergent lane and
+    /// corrected it in place (the ABFT backend's correction mechanism).
+    pub corrected_by_checksum: u64,
     /// Conditional-branch mispredictions (cost-model diagnostics).
     pub mispredicts: u64,
     /// Flip→detection trajectory of the injected fault, present only
@@ -214,6 +217,7 @@ impl RunResult {
         m.set("vm.detections", self.detections as f64);
         m.set("vm.recoveries", self.recoveries as f64);
         m.set("vm.corrected_by_vote", self.corrected_by_vote as f64);
+        m.set("vm.corrected_by_checksum", self.corrected_by_checksum as f64);
         m.set("vm.mispredicts", self.mispredicts as f64);
         self.htm.export_metrics(&mut m);
         m
@@ -338,6 +342,7 @@ pub struct Vm<'m> {
     detections: u64,
     recoveries: u64,
     corrected_by_vote: u64,
+    corrected_by_checksum: u64,
     mispredicts: u64,
     fault: Option<FaultPlan>,
     wall_cycles: u64,
@@ -390,6 +395,7 @@ impl<'m> Vm<'m> {
             detections: 0,
             recoveries: 0,
             corrected_by_vote: 0,
+            corrected_by_checksum: 0,
             mispredicts: 0,
             fault,
             wall_cycles: 0,
@@ -568,6 +574,7 @@ impl<'m> Vm<'m> {
             detections: self.detections,
             recoveries: self.recoveries,
             corrected_by_vote: self.corrected_by_vote,
+            corrected_by_checksum: self.corrected_by_checksum,
             mispredicts: self.mispredicts,
             forensics,
         }
@@ -1434,6 +1441,53 @@ impl<'m> Vm<'m> {
                     // All three copies disagree: unrecoverable divergence,
                     // handled exactly like a failed ILR check (rollback
                     // inside a transaction, fail-stop outside).
+                    None => self.ilr_detect(tid),
+                }
+            }
+            Op::ChkCorrect { ty, a, b, c } => {
+                let (av, ar) = self.operand(tid, a);
+                let (bv, br) = self.operand(tid, b);
+                let (cv, cr) = self.operand(tid, c);
+                // Checksum verify-and-correct: the three redundant lanes
+                // agree in a fault-free run; a single divergent lane is
+                // reconstructed from the other two (the row×column
+                // intersection pinpoints exactly one element).
+                let majority = if av == bv || av == cv {
+                    Some(av)
+                } else if bv == cv {
+                    Some(bv)
+                } else {
+                    None
+                };
+                match majority {
+                    Some(v) => {
+                        if !(av == bv && av == cv) {
+                            self.corrected_by_checksum += 1;
+                            if let Some(tr) = self.trace.as_mut() {
+                                let ts = self.wall_cycles + self.threads[tid].sb.clock;
+                                tr.push(
+                                    TraceEvent::instant("vm", "abft.correct", ts)
+                                        .lane(0, tid as u32),
+                                );
+                            }
+                            if self.forensics.is_some() {
+                                let now = self.wall_cycles + self.threads[tid].sb.clock;
+                                let insts = self.instructions;
+                                self.forensics.as_deref_mut().unwrap().detect(
+                                    forensics::FaultDetector::Checksum,
+                                    insts,
+                                    now,
+                                );
+                            }
+                        }
+                        let ready = ar.max(br).max(cr);
+                        let done = self.threads[tid].sb.issue(width, ready, self.cfg.cost.lat_vote);
+                        self.write_reg_forwarded(tid, result.unwrap(), v, done, *ty);
+                        Flow::Continue
+                    }
+                    // More than one lane corrupted: the checksum can
+                    // detect but not correct — fail-stop through the
+                    // existing detect path.
                     None => self.ilr_detect(tid),
                 }
             }

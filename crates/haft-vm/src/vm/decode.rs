@@ -179,6 +179,13 @@ pub(crate) enum DOp {
         c: Src,
         dst: u32,
     },
+    ChkCorrect {
+        ty: Ty,
+        a: Src,
+        b: Src,
+        c: Src,
+        dst: u32,
+    },
     Lock {
         addr: Src,
     },
@@ -457,6 +464,13 @@ impl Decoded {
                             b: lower(b, mem),
                             c: lower(c, mem),
                             dst: dst.expect("vote has result"),
+                        },
+                        Op::ChkCorrect { ty, a, b, c } => DOp::ChkCorrect {
+                            ty: *ty,
+                            a: lower(a, mem),
+                            b: lower(b, mem),
+                            c: lower(c, mem),
+                            dst: dst.expect("chk_correct has result"),
                         },
                         Op::Lock { addr } => DOp::Lock { addr: lower(addr, mem) },
                         Op::Unlock { addr } => DOp::Unlock { addr: lower(addr, mem) },

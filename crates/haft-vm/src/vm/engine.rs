@@ -719,6 +719,54 @@ impl<'m> Vm<'m> {
                     None => EFlow::Flow(self.ilr_detect(tid)),
                 }
             }
+            DOp::ChkCorrect { ty, a, b, c, dst } => {
+                let t = &mut self.threads[tid];
+                let fr = t.frames.last().expect("live frame");
+                let (av, ar) = rd(fr, a);
+                let (bv, br) = rd(fr, b);
+                let (cv, cr) = rd(fr, c);
+                let majority = if av == bv || av == cv {
+                    Some(av)
+                } else if bv == cv {
+                    Some(bv)
+                } else {
+                    None
+                };
+                match majority {
+                    Some(v) => {
+                        if !(av == bv && av == cv) {
+                            self.corrected_by_checksum += 1;
+                            if let Some(tr) = self.trace.as_mut() {
+                                tr.push(
+                                    haft_trace::TraceEvent::instant(
+                                        "vm",
+                                        "abft.correct",
+                                        self.wall_cycles + t.sb.clock,
+                                    )
+                                    .lane(0, tid as u32),
+                                );
+                            }
+                            if let Some(fx) = self.forensics.as_deref_mut() {
+                                // Same pre-issue timestamp as the
+                                // interpreter's hook.
+                                fx.detect(
+                                    super::forensics::FaultDetector::Checksum,
+                                    self.instructions,
+                                    self.wall_cycles + t.sb.clock,
+                                );
+                            }
+                        }
+                        let done = t.sb.issue(width, ar.max(br).max(cr), self.cfg.cost.lat_vote);
+                        // Forwarded write: not part of the fault-injection
+                        // occurrence stream (mirrors `write_reg_forwarded`).
+                        let fr = t.frames.last_mut().expect("live frame");
+                        fr.regs[dst as usize] = v & ty.mask();
+                        fr.ready[dst as usize] = done;
+                        EFlow::Norm
+                    }
+                    None => EFlow::Flow(self.ilr_detect(tid)),
+                }
+            }
             DOp::Lock { addr } => {
                 let (av, ar) = rd(self.threads[tid].frames.last().expect("live frame"), addr);
                 EFlow::Flow(self.exec_lock(tid, av, ar))

@@ -58,6 +58,9 @@ pub enum FaultDetector {
     Ilr,
     /// A majority vote found the divergent copy and masked it in place.
     Vote,
+    /// A checksum verify-and-correct reconstructed the divergent lane
+    /// in place (the ABFT backend's epilogue).
+    Checksum,
     /// A transactional rollback erased all remaining corruption.
     HtmAbort,
     /// The OS terminated the program (wild access, div-by-zero, ...).
@@ -70,11 +73,12 @@ pub enum FaultDetector {
 
 impl FaultDetector {
     /// Every detector, in declaration order (histogram iteration).
-    pub const ALL: [FaultDetector; 8] = [
+    pub const ALL: [FaultDetector; 9] = [
         FaultDetector::MaskedAtSite,
         FaultDetector::Masked,
         FaultDetector::Ilr,
         FaultDetector::Vote,
+        FaultDetector::Checksum,
         FaultDetector::HtmAbort,
         FaultDetector::Trap,
         FaultDetector::Hang,
@@ -89,6 +93,7 @@ impl FaultDetector {
             FaultDetector::Masked => "masked",
             FaultDetector::Ilr => "ilr",
             FaultDetector::Vote => "vote",
+            FaultDetector::Checksum => "abft-correct",
             FaultDetector::HtmAbort => "htm-abort",
             FaultDetector::Trap => "trap",
             FaultDetector::Hang => "hang",
@@ -498,7 +503,7 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            Op::Vote { a, b, c, .. } => {
+            Op::Vote { a, b, c, .. } | Op::ChkCorrect { a, b, c, .. } => {
                 // Two-of-three majority masks a single tainted copy: the
                 // result is corrupt only if at least two inputs are.
                 let n = [a, b, c].into_iter().filter(|o| opt(fx, o)).count();
@@ -641,7 +646,7 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            DOp::Vote { a, b, c, dst, .. } => {
+            DOp::Vote { a, b, c, dst, .. } | DOp::ChkCorrect { a, b, c, dst, .. } => {
                 let n = [a, b, c].into_iter().filter(|s| st(fx, *s)).count();
                 fx.set_reg(tid, in_tx, depth, dst, n >= 2);
             }

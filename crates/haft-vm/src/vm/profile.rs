@@ -39,7 +39,9 @@ pub enum OpClass {
     Tx,
     /// Rollback penalty after an abort.
     TxAbort,
-    /// Majority votes (TMR backend).
+    /// Three-way synchronization points: majority votes (TMR backend)
+    /// and checksum verify-and-corrects (ABFT backend) — same latency,
+    /// same non-replicated role.
     Vote,
     /// Lock/unlock.
     Sync,
@@ -84,7 +86,7 @@ impl OpClass {
             Op::Call { .. } | Op::Ret { .. } => OpClass::Call,
             Op::TxBegin | Op::TxEnd | Op::TxCondSplit | Op::TxCounterInc { .. } => OpClass::Tx,
             Op::TxAbort { .. } => OpClass::Tx,
-            Op::Vote { .. } => OpClass::Vote,
+            Op::Vote { .. } | Op::ChkCorrect { .. } => OpClass::Vote,
             Op::Lock { .. } | Op::Unlock { .. } => OpClass::Sync,
             Op::Emit { .. } => OpClass::Emit,
             Op::ThreadId | Op::NumThreads | Op::Nop => OpClass::Other,
@@ -107,7 +109,7 @@ impl OpClass {
             DOp::CallDirect { .. } | DOp::CallInd { .. } | DOp::Ret { .. } => OpClass::Call,
             DOp::TxBegin | DOp::TxEnd | DOp::TxCondSplit | DOp::TxCounterInc { .. } => OpClass::Tx,
             DOp::TxAbortIlr | DOp::TxAbortExplicit => OpClass::Tx,
-            DOp::Vote { .. } => OpClass::Vote,
+            DOp::Vote { .. } | DOp::ChkCorrect { .. } => OpClass::Vote,
             DOp::Lock { .. } | DOp::Unlock { .. } => OpClass::Sync,
             DOp::Emit { .. } => OpClass::Emit,
             DOp::ThreadIdD { .. } | DOp::NumThreadsD { .. } | DOp::Nop | DOp::TrapMalformed => {

@@ -515,6 +515,84 @@ fn vote_result_is_not_a_fault_injection_target() {
 }
 
 #[test]
+fn chk_correct_masks_a_single_divergent_lane() {
+    // chk_correct(a, b, c) mirrors vote's two-of-three majority but
+    // counts toward the ABFT correction counter, not the vote counter.
+    let build = |a: i64, b: i64, c: i64| {
+        let m = fini_module(|fb| {
+            let av = fb.mov(Ty::I64, fb.iconst(Ty::I64, a));
+            let bv = fb.mov(Ty::I64, fb.iconst(Ty::I64, b));
+            let cv = fb.mov(Ty::I64, fb.iconst(Ty::I64, c));
+            let v = fb
+                .emit_op(Op::ChkCorrect { ty: Ty::I64, a: av.into(), b: bv.into(), c: cv.into() })
+                .unwrap();
+            fb.emit_out(Ty::I64, v);
+            fb.ret(None);
+        });
+        run_fini(&m)
+    };
+    let clean = build(7, 7, 7);
+    assert_eq!(clean.output, vec![7]);
+    assert_eq!(clean.corrected_by_checksum, 0);
+    assert_eq!(clean.corrected_by_vote, 0);
+    for (a, b, c) in [(9, 7, 7), (7, 9, 7), (7, 7, 9)] {
+        let r = build(a, b, c);
+        assert_eq!(r.output, vec![7], "chk_correct({a},{b},{c})");
+        assert_eq!(r.corrected_by_checksum, 1);
+        assert_eq!(r.corrected_by_vote, 0);
+        assert_eq!(r.outcome, RunOutcome::Completed);
+    }
+}
+
+#[test]
+fn chk_correct_with_three_way_divergence_fail_stops() {
+    let m = fini_module(|fb| {
+        let a = fb.mov(Ty::I64, fb.iconst(Ty::I64, 1));
+        let b = fb.mov(Ty::I64, fb.iconst(Ty::I64, 2));
+        let c = fb.mov(Ty::I64, fb.iconst(Ty::I64, 3));
+        let v = fb
+            .emit_op(Op::ChkCorrect { ty: Ty::I64, a: a.into(), b: b.into(), c: c.into() })
+            .unwrap();
+        fb.emit_out(Ty::I64, v);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    // Uncorrectable divergence fail-stops through the ILR detect path.
+    assert_eq!(r.outcome, RunOutcome::Detected);
+    assert_eq!(r.detections, 1);
+    assert_eq!(r.corrected_by_checksum, 0);
+    assert!(r.output.is_empty());
+}
+
+#[test]
+fn chk_correct_result_is_not_a_fault_injection_target() {
+    // Like the vote, the correction epilogue sits outside the
+    // fault-injection target set: its write is forwarded, so the fault
+    // population counts only the real (unprotected) writes.
+    let m = fini_module(|fb| {
+        let a = fb.mov(Ty::I64, fb.iconst(Ty::I64, 5));
+        let b = fb.mov(Ty::I64, fb.iconst(Ty::I64, 5));
+        let c = fb.mov(Ty::I64, fb.iconst(Ty::I64, 5));
+        let v = fb
+            .emit_op(Op::ChkCorrect { ty: Ty::I64, a: a.into(), b: b.into(), c: c.into() })
+            .unwrap();
+        fb.emit_out(Ty::I64, v);
+        fb.ret(None);
+    });
+    let r = run_fini(&m);
+    assert_eq!(r.register_writes, 3, "three moves, no chk_correct write");
+    for occ in 0..3 {
+        let cfg = VmConfig {
+            fault: Some(FaultPlan { occurrence: occ, xor_mask: 0xff }),
+            ..Default::default()
+        };
+        let f = run(&m, cfg, RunSpec { fini: Some("fini"), ..Default::default() });
+        assert_eq!(f.output, vec![5], "occurrence {occ}");
+        assert_eq!(f.corrected_by_checksum, 1);
+    }
+}
+
+#[test]
 fn conflicting_transactions_abort_and_recover() {
     // Two threads transactionally increment the same cell in a loop; the
     // HTM must serialize them via conflict aborts yet deliver a correct

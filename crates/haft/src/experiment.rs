@@ -78,13 +78,16 @@ impl<'a> Experiment<'a> {
     /// Selects a hardening backend by its full-strength preset:
     /// [`Backend::IlrTx`] is [`HardenConfig::haft`] (duplicate, detect,
     /// roll back), [`Backend::Tmr`] is [`HardenConfig::tmr`] (triplicate
-    /// and mask by majority vote). Use [`Experiment::harden`] for
+    /// and mask by majority vote), [`Backend::Abft`] is
+    /// [`HardenConfig::abft`] (checksum lanes over recognized chains,
+    /// full-HAFT fallback elsewhere). Use [`Experiment::harden`] for
     /// fine-grained pass configuration; like it, this invalidates the
     /// cached hardened module.
     pub fn backend(self, b: Backend) -> Self {
         self.harden(match b {
             Backend::IlrTx => HardenConfig::haft(),
             Backend::Tmr => HardenConfig::tmr(),
+            Backend::Abft => HardenConfig::abft(),
         })
     }
 

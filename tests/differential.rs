@@ -7,9 +7,10 @@
 //! available: **full [`RunResult`] equality** (outcome, output, wall and
 //! per-phase cycles, CPU cycles, instruction and register-write counts,
 //! the complete HTM statistics block, detections, recoveries,
-//! `corrected_by_vote`, mispredicts) across a grid of generated
-//! programs, hardening backends, transaction thresholds, and fault
-//! injections. Any divergence — one cycle, one abort, one vote — fails.
+//! `corrected_by_vote`, `corrected_by_checksum`, mispredicts) across a
+//! grid of generated programs, hardening backends, transaction
+//! thresholds, and fault injections. Any divergence — one cycle, one
+//! abort, one vote, one checksum correction — fails.
 
 use std::collections::BTreeMap;
 
@@ -125,6 +126,7 @@ proptest! {
             HardenConfig::native(),
             HardenConfig::haft(),
             HardenConfig::tmr(),
+            HardenConfig::abft(),
         ];
         for hc in &configs {
             for &threshold in &[250u64, 1000, 4000] {
@@ -144,7 +146,8 @@ proptest! {
 
     /// Fault injections land on the same dynamic register write in both
     /// engines, so the whole faulted result — not just the outcome —
-    /// must match too.
+    /// must match too. Runs under both HAFT and ABFT so the checksum
+    /// verify-and-correct path is differentially pinned too.
     #[test]
     fn engines_agree_under_fault_injection(
         steps in proptest::collection::vec(step_strategy(), 1..24),
@@ -152,14 +155,17 @@ proptest! {
         mask in 1u64..,
     ) {
         let m = build_program(&steps);
-        let exp = Experiment::new(&m).harden(HardenConfig::haft()).spec(fini_spec());
-        let (clean_i, clean_f) = run_both(&exp);
-        prop_assert_eq!(&clean_i, &clean_f, "clean runs diverge");
-        let occurrence = occ_seed % clean_i.register_writes.max(1);
-        let plan = FaultPlan { occurrence, xor_mask: mask };
-        let fi = exp.clone().engine(Engine::Interp).run_with_fault(plan).run;
-        let ff = exp.clone().engine(Engine::Fused).run_with_fault(plan).run;
-        prop_assert_eq!(&fi, &ff, "faulted runs diverge at occurrence {}", occurrence);
+        for hc in [HardenConfig::haft(), HardenConfig::abft()] {
+            let label = hc.label();
+            let exp = Experiment::new(&m).harden(hc).spec(fini_spec());
+            let (clean_i, clean_f) = run_both(&exp);
+            prop_assert_eq!(&clean_i, &clean_f, "{}: clean runs diverge", label);
+            let occurrence = occ_seed % clean_i.register_writes.max(1);
+            let plan = FaultPlan { occurrence, xor_mask: mask };
+            let fi = exp.clone().engine(Engine::Interp).run_with_fault(plan).run;
+            let ff = exp.clone().engine(Engine::Fused).run_with_fault(plan).run;
+            prop_assert_eq!(&fi, &ff, "{}: faulted runs diverge at occurrence {}", label, occurrence);
+        }
     }
 }
 
@@ -170,7 +176,12 @@ proptest! {
 fn engines_agree_on_workloads() {
     for name in ["linearreg", "histogram"] {
         let w = workload_by_name(name, Scale::Small).unwrap();
-        let configs = [HardenConfig::native(), HardenConfig::haft(), HardenConfig::tmr()];
+        let configs = [
+            HardenConfig::native(),
+            HardenConfig::haft(),
+            HardenConfig::tmr(),
+            HardenConfig::abft(),
+        ];
         for hc in &configs {
             for &threshold in &[250u64, 1000] {
                 let exp =
@@ -188,28 +199,38 @@ fn engines_agree_on_workloads() {
 }
 
 /// The 23-point fault sweep from `quickstart_smoke.rs`, run under both
-/// engines: every injection point must produce the *same* result, and
-/// therefore the same Table 1 outcome histogram.
+/// engines and both recovery backends (HAFT rollback, ABFT checksum):
+/// every injection point must produce the *same* result, and therefore
+/// the same Table 1 outcome histogram.
 #[test]
 fn fault_sweep_outcome_histograms_match() {
     let w = workload_by_name("linearreg", Scale::Small).unwrap();
-    let exp = Experiment::workload(&w).harden(HardenConfig::haft()).threads(2);
-    let (clean_i, clean_f) = run_both(&exp);
-    assert_eq!(clean_i, clean_f, "clean runs diverge");
+    for hc in [HardenConfig::haft(), HardenConfig::abft()] {
+        let label = hc.label();
+        let exp = Experiment::workload(&w).harden(hc).threads(2);
+        let (clean_i, clean_f) = run_both(&exp);
+        assert_eq!(clean_i, clean_f, "{label}: clean runs diverge");
 
-    let mut histogram_i: BTreeMap<String, u64> = BTreeMap::new();
-    let mut histogram_f: BTreeMap<String, u64> = BTreeMap::new();
-    let step = (clean_i.register_writes / 23).max(1);
-    for occurrence in (0..clean_i.register_writes).step_by(step as usize) {
-        let plan = FaultPlan { occurrence, xor_mask: 0x40 };
-        let ri = exp.clone().engine(Engine::Interp).run_with_fault(plan).run;
-        let rf = exp.clone().engine(Engine::Fused).run_with_fault(plan).run;
-        assert_eq!(ri, rf, "faulted runs diverge at occurrence {occurrence}");
-        *histogram_i.entry(format!("{:?}", ri.outcome)).or_default() += 1;
-        *histogram_f.entry(format!("{:?}", rf.outcome)).or_default() += 1;
+        let mut histogram_i: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histogram_f: BTreeMap<String, u64> = BTreeMap::new();
+        let mut corrected = 0;
+        let step = (clean_i.register_writes / 23).max(1);
+        for occurrence in (0..clean_i.register_writes).step_by(step as usize) {
+            let plan = FaultPlan { occurrence, xor_mask: 0x40 };
+            let ri = exp.clone().engine(Engine::Interp).run_with_fault(plan).run;
+            let rf = exp.clone().engine(Engine::Fused).run_with_fault(plan).run;
+            assert_eq!(ri, rf, "{label}: faulted runs diverge at occurrence {occurrence}");
+            corrected += ri.corrected_by_checksum;
+            *histogram_i.entry(format!("{:?}", ri.outcome)).or_default() += 1;
+            *histogram_f.entry(format!("{:?}", rf.outcome)).or_default() += 1;
+        }
+        // Implied by the per-point equality above, but assert the
+        // aggregate the paper actually reports: identical outcome
+        // histograms.
+        assert_eq!(histogram_i, histogram_f, "{label}: outcome histograms diverge");
+        assert!(histogram_i.values().sum::<u64>() >= 23, "{label}: sweep must cover 23 points");
+        if label == "HAFT" {
+            assert_eq!(corrected, 0, "rollback backend must never fire a checksum");
+        }
     }
-    // Implied by the per-point equality above, but assert the aggregate
-    // the paper actually reports: identical outcome histograms.
-    assert_eq!(histogram_i, histogram_f, "outcome histograms diverge");
-    assert!(histogram_i.values().sum::<u64>() >= 23, "sweep must cover 23 points");
 }

@@ -89,6 +89,86 @@ fn fini_spec() -> RunSpec<'static> {
     RunSpec { fini: Some("fini"), ..Default::default() }
 }
 
+/// The four matrix-shaped Phoenix workloads the ABFT backend targets.
+const MATRIX_NAMES: [&str; 4] = ["pca", "linearreg", "matrixmul", "kmeans"];
+
+/// Fault-free ABFT run per matrix workload, computed once for the whole
+/// proptest sweep (the clean reference never changes across cases).
+fn abft_clean_run(idx: usize) -> &'static RunResult {
+    use std::sync::OnceLock;
+    static CLEAN: [OnceLock<RunResult>; 4] = [const { OnceLock::new() }; 4];
+    CLEAN[idx].get_or_init(|| {
+        let w = workload_by_name(MATRIX_NAMES[idx], Scale::Small).unwrap();
+        Experiment::workload(&w).harden(HardenConfig::abft()).threads(2).run().run
+    })
+}
+
+/// Every matrix workload, both engines: an ABFT fault-free run is
+/// output-identical to native, never fires a correction, and the two
+/// engines return byte-identical `RunResult`s.
+#[test]
+fn abft_matrix_workloads_are_clean_and_engine_identical() {
+    for name in MATRIX_NAMES {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let native = Experiment::workload(&w).threads(2).run().run;
+        assert_eq!(native.outcome, RunOutcome::Completed, "{name}: native must complete");
+        let mut runs = Vec::new();
+        for engine in [Engine::Interp, Engine::Fused] {
+            let r = Experiment::workload(&w)
+                .harden(HardenConfig::abft())
+                .threads(2)
+                .engine(engine)
+                .run()
+                .run;
+            assert_eq!(r.outcome, RunOutcome::Completed, "{name}/{engine:?}");
+            assert_eq!(r.output, native.output, "{name}/{engine:?}: ABFT changed the output");
+            assert_eq!(r.corrected_by_checksum, 0, "{name}/{engine:?}: fault-free correction");
+            assert_eq!(r.corrected_by_vote, 0, "{name}/{engine:?}: no votes in ABFT");
+            runs.push(r);
+        }
+        assert_eq!(runs[0], runs[1], "{name}: engines diverge on the full RunResult");
+    }
+}
+
+/// Fallback-coverage regression pins: which functions of each workload
+/// the ABFT pass claims, per config. A recognizer change that silently
+/// demotes a kernel to full HAFT (or silently claims a function it
+/// should not) moves these counters and must be a reviewed diff.
+#[test]
+fn abft_coverage_split_is_pinned_per_workload() {
+    // (workload, default: covered/fallback/chains, fallback-heavy: covered/fallback)
+    let pins = [
+        ("pca", (2.0, 0.0, 28.0), (1.0, 1.0)),
+        ("linearreg", (2.0, 0.0, 8.0), (2.0, 0.0)),
+        ("matrixmul", (2.0, 0.0, 2.0), (0.0, 2.0)),
+        ("kmeans", (2.0, 0.0, 5.0), (1.0, 1.0)),
+        // Not a matrix workload: the histogram counters carry no data a
+        // checksum could protect, so only the reduce phase stays covered.
+        ("histogram", (1.0, 1.0, 1.0), (0.0, 2.0)),
+    ];
+    for (name, (covered, fallback, chains), (fb_covered, fb_fallback)) in pins {
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let (_, stats) = Experiment::workload(&w).harden(HardenConfig::abft()).build();
+        let m = stats.metrics();
+        assert_eq!(m.get("pass.abft.functions_covered"), Some(covered), "{name}: covered");
+        assert_eq!(m.get("pass.abft.functions_fallback"), Some(fallback), "{name}: fallback");
+        assert_eq!(m.get("pass.abft.chains"), Some(chains), "{name}: chains");
+        let (_, fstats) =
+            Experiment::workload(&w).harden(HardenConfig::abft_fallback_heavy()).build();
+        let fm = fstats.metrics();
+        assert_eq!(
+            fm.get("pass.abft.functions_covered"),
+            Some(fb_covered),
+            "{name}: fb-heavy covered"
+        );
+        assert_eq!(
+            fm.get("pass.abft.functions_fallback"),
+            Some(fb_fallback),
+            "{name}: fb-heavy fallback"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -105,6 +185,8 @@ proptest! {
             HardenConfig::at_opt_level(OptLevel::FaultProp),
             HardenConfig::tmr(),
             HardenConfig::tmr_unoptimized(),
+            HardenConfig::abft(),
+            HardenConfig::abft_fallback_heavy(),
         ];
         for hc in &configs {
             let (hardened, _) = Experiment::new(&m).harden(hc.clone()).build();
@@ -206,6 +288,29 @@ proptest! {
             let canon = haft::ir::printer::print_module(&parsed);
             let reparsed = haft::ir::parser::parse_module(&canon).unwrap();
             prop_assert_eq!(haft::ir::printer::print_module(&reparsed), canon);
+        }
+    }
+
+    /// Single-fault sweep over ABFT-covered kernels: a run the checksum
+    /// corrected must be bit-clean. (Faults in the *unprotected* slice of
+    /// a covered function can still corrupt — that is ABFT's
+    /// coverage-for-overhead trade — but a fired correction that still
+    /// let corruption through would mean the majority logic is wrong.)
+    #[test]
+    fn abft_corrections_are_always_clean(
+        workload_idx in 0usize..4,
+        occ_seed in any::<u64>(),
+        mask in 1u64..,
+    ) {
+        let name = MATRIX_NAMES[workload_idx];
+        let clean = abft_clean_run(workload_idx);
+        prop_assert_eq!(clean.outcome, RunOutcome::Completed);
+        let w = workload_by_name(name, Scale::Small).unwrap();
+        let exp = Experiment::workload(&w).harden(HardenConfig::abft()).threads(2);
+        let occurrence = occ_seed % clean.register_writes.max(1);
+        let r = exp.run_with_fault(FaultPlan { occurrence, xor_mask: mask }).run;
+        if r.corrected_by_checksum > 0 && r.outcome == RunOutcome::Completed {
+            prop_assert_eq!(&r.output, &clean.output, "{}: corrected run diverged", name);
         }
     }
 

@@ -144,6 +144,7 @@ fn metrics_registry_names_are_stable() {
             "htm.started",
             "htm.total_cycles",
             "htm.tx_cycles",
+            "vm.corrected_by_checksum",
             "vm.corrected_by_vote",
             "vm.cycles.cpu",
             "vm.cycles.fini",
@@ -222,6 +223,7 @@ fn metrics_registry_names_are_stable() {
     assert_eq!(
         outcome_names,
         vec![
+            "faults.outcome.checksum-corrected",
             "faults.outcome.haft-corrected",
             "faults.outcome.hang",
             "faults.outcome.ilr-detected",
@@ -247,6 +249,7 @@ fn metrics_registry_names_are_stable() {
         "faults.detect_latency.ilr.mean_insts",
         "faults.detect_latency.ilr.max_insts",
         "faults.detect_latency.vote.count",
+        "faults.detect_latency.abft-correct.count",
         "faults.detect_latency.htm-abort.count",
         "faults.detect_latency.trap.count",
         "faults.detect_latency.hang.count",
